@@ -1,0 +1,451 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index):
+//
+//	T1  BenchmarkTableIDerivation          — Table I from scenario facts
+//	F1  BenchmarkFig1Lifecycle             — Fig. 1 pipeline + response paths
+//	F2  BenchmarkFig2BusBroadcast          — Fig. 2 topology under load
+//	F3  BenchmarkFig3FrameCodec/NodePipeline — Fig. 3 node internals
+//	F4  BenchmarkFig4HPEDecision           — Fig. 4 decision block
+//	C1  BenchmarkClaimResponseCycle        — §V-A.3 policy-vs-redesign claim
+//	C2  BenchmarkClaimEnforcementRobustness — §V-B.2 firmware-compromise claim
+//
+// plus the DESIGN.md §5 ablations (HPE lookup structure, AVC cache).
+// Domain metrics are attached via b.ReportMetric so `go test -bench` prints
+// the series the paper's artifacts correspond to.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/behaviour"
+	"repro/internal/canbus"
+	"repro/internal/car"
+	"repro/internal/core"
+	"repro/internal/hpe"
+	"repro/internal/lifecycle"
+	"repro/internal/mac"
+	"repro/internal/policy"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/threatmodel"
+)
+
+// BenchmarkTableIDerivation (T1) regenerates Table I: the full pipeline from
+// scenario encodings to rated analysis plus the rendered table.
+func BenchmarkTableIDerivation(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		a, err := car.Analyze()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := report.TableI(a, car.TableRowOrder)
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+		rows = len(a.Threats)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkFig1Lifecycle (F1) regenerates the Fig. 1 pipeline and both
+// post-deployment response paths.
+func BenchmarkFig1Lifecycle(b *testing.B) {
+	m := lifecycle.DefaultCostModel()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		if steps := lifecycle.Pipeline(); len(steps) == 0 {
+			b.Fatal("empty pipeline")
+		}
+		c, err := lifecycle.Compare(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = c.Speedup
+	}
+	b.ReportMetric(speedup, "speedup_x")
+}
+
+// BenchmarkFig2BusBroadcast (F2) drives the Fig. 2 topology with periodic
+// legitimate traffic and reports simulated frame throughput.
+func BenchmarkFig2BusBroadcast(b *testing.B) {
+	var delivered uint64
+	for i := 0; i < b.N; i++ {
+		c := car.MustNew(car.Config{})
+		c.StartTraffic(time.Millisecond, 100*time.Millisecond, 88)
+		c.Scheduler().Run()
+		delivered = c.Bus().Stats().FramesDelivered
+	}
+	b.ReportMetric(float64(delivered), "frames/run")
+}
+
+// BenchmarkFig3FrameCodec (F3) measures the bit-level encode/decode path of
+// a CAN node's controller.
+func BenchmarkFig3FrameCodec(b *testing.B) {
+	f := canbus.MustDataFrame(0x2A5, []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bits, err := canbus.EncodeBits(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := canbus.DecodeBits(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3NodePipeline (F3) measures the full transceiver ->
+// controller -> processor path across the simulated bus.
+func BenchmarkFig3NodePipeline(b *testing.B) {
+	sched := &sim.Scheduler{}
+	bus := canbus.New(sched, canbus.Config{})
+	tx := bus.MustAttach("tx")
+	rx := bus.MustAttach("rx")
+	rx.Controller().SetFilters(canbus.ExactFilter(0x123))
+	n := 0
+	rx.Controller().SetHandler(func(canbus.Frame) { n++ })
+	f := canbus.MustDataFrame(0x123, []byte{1, 2, 3, 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Send(f); err != nil {
+			b.Fatal(err)
+		}
+		sched.Run()
+	}
+	if n != b.N {
+		b.Fatalf("delivered %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkFig4HPEDecision (F4) measures the decision block with the
+// compiled Table I policy installed, and reports the modelled hardware
+// latency alongside the simulation cost.
+func BenchmarkFig4HPEDecision(b *testing.B) {
+	h, err := attack.NewHarness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := hpe.New(car.NodeEVECU, hpe.FixedMode(car.ModeNormal), hpe.DefaultCycleModel())
+	if err := eng.Install(h.Compiled); err != nil {
+		b.Fatal(err)
+	}
+	granted := canbus.MustDataFrame(car.IDSensorSpeed, nil)
+	blocked := canbus.MustDataFrame(0x6FF, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eng.Decide(canbus.Read, granted) != canbus.Grant {
+			b.Fatal("grant path broken")
+		}
+		if eng.Decide(canbus.Read, blocked) != canbus.Block {
+			b.Fatal("block path broken")
+		}
+	}
+	b.StopTimer()
+	cm := eng.CycleModel()
+	b.ReportMetric(cm.LatencyNanos(cm.PerDecision()), "hw_ns/decision")
+}
+
+// BenchmarkClaimResponseCycle (C1) evaluates the §V-A.3 claim across a
+// recall-duration sweep and reports the minimum observed speed-up.
+func BenchmarkClaimResponseCycle(b *testing.B) {
+	minSpeedup := 0.0
+	for i := 0; i < b.N; i++ {
+		minSpeedup = 1e18
+		for _, days := range []float64{15, 30, 60, 90, 180} {
+			m := lifecycle.DefaultCostModel()
+			m.RecallOrUpdate = time.Duration(days * float64(lifecycle.Day))
+			c, err := lifecycle.Compare(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c.Speedup < minSpeedup {
+				minSpeedup = c.Speedup
+			}
+		}
+	}
+	b.ReportMetric(minSpeedup, "min_speedup_x")
+}
+
+// BenchmarkClaimEnforcementRobustness (C2) runs the full 16-scenario attack
+// matrix under the HPE with compromised firmware and reports the block rate.
+func BenchmarkClaimEnforcementRobustness(b *testing.B) {
+	h, err := attack.NewHarness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := attack.Scenarios()
+	var blockRate float64
+	for i := 0; i < b.N; i++ {
+		blockedCount := 0
+		for _, sc := range scenarios {
+			r, err := h.Run(sc, attack.EnforceHPE)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.Succeeded && r.LegitimateOK {
+				blockedCount++
+			}
+		}
+		blockRate = float64(blockedCount) / float64(len(scenarios))
+	}
+	b.ReportMetric(blockRate*100, "blocked_%")
+}
+
+// BenchmarkAttackMatrixBaseline complements C2: the same matrix with no
+// enforcement, reporting the success rate (expected 100%).
+func BenchmarkAttackMatrixBaseline(b *testing.B) {
+	h, err := attack.NewHarness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := attack.Scenarios()
+	var successRate float64
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, sc := range scenarios {
+			r, err := h.Run(sc, attack.EnforceNone)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Succeeded {
+				n++
+			}
+		}
+		successRate = float64(n) / float64(len(scenarios))
+	}
+	b.ReportMetric(successRate*100, "succeeded_%")
+}
+
+// benchLookup builds an engine whose tables use the given lookup structure
+// and table size, then measures decisions (DESIGN.md §5 ablation).
+func benchLookup(b *testing.B, kind policy.LookupKind, size uint32) {
+	set := &policy.Set{Name: "ablation", Version: 1, Rules: []policy.Rule{
+		{Subject: "n", Effect: policy.Allow, Action: policy.ActRead, IDs: policy.Span(0, size-1)},
+	}}
+	compiled, err := policy.Compile(set, policy.CompileOptions{
+		Subjects: []string{"n"}, Modes: []policy.Mode{"m"}, Lookup: kind,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := hpe.New("n", hpe.FixedMode("m"), hpe.DefaultCycleModel())
+	if err := eng.Install(compiled); err != nil {
+		b.Fatal(err)
+	}
+	hit := canbus.MustDataFrame(size-1, nil) // worst case for linear scan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eng.Decide(canbus.Read, hit) != canbus.Grant {
+			b.Fatal("lookup broken")
+		}
+	}
+}
+
+func BenchmarkAblationHPELookup(b *testing.B) {
+	for _, kind := range []policy.LookupKind{policy.LookupHash, policy.LookupSorted, policy.LookupLinear} {
+		for _, size := range []uint32{16, 256, 2048} {
+			b.Run(fmt.Sprintf("%s/%d", kind, size), func(b *testing.B) {
+				benchLookup(b, kind, size)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationAVCCache measures MAC checks with and without the
+// access-vector cache (DESIGN.md §5 ablation).
+func BenchmarkAblationAVCCache(b *testing.B) {
+	model, err := core.BuildModel(car.UseCase(), car.Threats(), "table-i", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	module, err := core.DeriveMACModule(model.Analysis, "car-base", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, enabled := range []bool{true, false} {
+		name := "on"
+		if !enabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv := mac.NewServer(mac.WithAVC(enabled))
+			if err := srv.Load(module); err != nil {
+				b.Fatal(err)
+			}
+			src := core.MACContext(car.NodeTelematics)
+			tgt := core.MessageContext(car.IDTrackingReport)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !srv.Check(src, tgt, core.MACClassCAN, core.MACPermWrite).Allowed {
+					b.Fatal("check broken")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPolicyToolchain measures the OEM-side path: derive, render,
+// parse, compile, sign, verify — the work inside one policy update cycle.
+func BenchmarkPolicyToolchain(b *testing.B) {
+	analysis, err := car.Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	oem, err := core.NewOEM(benchEntropy{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, err := threatmodel.DerivePolicies(analysis, "table-i", uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bundle, err := oem.Issue(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bundle.Verify(oem.PublicKey()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := policy.Compile(set, policy.CompileOptions{
+			Subjects: car.AllNodes, Modes: car.AllModes,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEntropy is a deterministic reader for benchmark key generation.
+type benchEntropy struct{}
+
+func (benchEntropy) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(i*13 + 7)
+	}
+	return len(p), nil
+}
+
+// BenchmarkCriticalityLatency (E1) measures safety-critical delivery
+// latency under a high-priority flood, without and with enforcement — the
+// paper's "systems with differing criticality" future-work axis.
+func BenchmarkCriticalityLatency(b *testing.B) {
+	h, err := attack.NewHarness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  attack.LatencyConfig
+	}{
+		{"quiet", attack.LatencyConfig{Enforce: attack.EnforceNone}},
+		{"flood-none", attack.LatencyConfig{Enforce: attack.EnforceNone, Flood: true}},
+		{"flood-hpe", attack.LatencyConfig{Enforce: attack.EnforceHPE, Flood: true}},
+	}
+	for _, cs := range cases {
+		cs := cs
+		b.Run(cs.name, func(b *testing.B) {
+			var criticalMean time.Duration
+			for i := 0; i < b.N; i++ {
+				stats, err := h.MeasureLatency(cs.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				criticalMean = stats[0].Mean
+			}
+			b.ReportMetric(float64(criticalMean.Microseconds()), "critical_us")
+		})
+	}
+}
+
+// BenchmarkAblationBehaviouralOverhead (E2) measures the per-decision cost
+// the situational layer adds on top of the identifier engine.
+func BenchmarkAblationBehaviouralOverhead(b *testing.B) {
+	h, err := attack.NewHarness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := hpe.New(car.NodeDoorLocks, hpe.FixedMode(car.ModeNormal), hpe.DefaultCycleModel())
+	if err := base.Install(h.Compiled); err != nil {
+		b.Fatal(err)
+	}
+	f := canbus.MustDataFrame(car.IDDoorCommand, []byte{0x01})
+
+	b.Run("hpe-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if base.Decide(canbus.Read, f) != canbus.Grant {
+				b.Fatal("grant path broken")
+			}
+		}
+	})
+	b.Run("hpe+situational", func(b *testing.B) {
+		wrapped := behaviour.New(base, func() time.Duration { return 0 })
+		err := wrapped.AddRule(&behaviour.SituationalDeny{
+			Label:     "no-unlock-in-motion",
+			When:      behaviour.SituationFunc{Name: "in motion", Fn: func() bool { return false }},
+			Direction: canbus.Read,
+			IDs:       policy.SingleID(car.IDDoorCommand),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if wrapped.Decide(canbus.Read, f) != canbus.Grant {
+				b.Fatal("grant path broken")
+			}
+		}
+	})
+	b.Run("hpe+rate", func(b *testing.B) {
+		// The clock advances a full window per decision so the rule's
+		// sliding window stays small and every frame is granted.
+		var now time.Duration
+		clock := func() time.Duration { now += 2 * time.Millisecond; return now }
+		wrapped := behaviour.New(base, clock)
+		err := wrapped.AddRule(&behaviour.RateLimit{
+			Label:        "budget",
+			Direction:    canbus.Read,
+			IDs:          policy.SingleID(car.IDDoorCommand),
+			MaxPerWindow: 4,
+			Window:       time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if wrapped.Decide(canbus.Read, f) != canbus.Grant {
+				b.Fatal("grant path broken")
+			}
+		}
+	})
+}
+
+// BenchmarkBusUnderErrorInjection exercises retransmission economics: the
+// same workload at increasing bus error rates.
+func BenchmarkBusUnderErrorInjection(b *testing.B) {
+	for _, rate := range []float64{0, 0.05, 0.15} {
+		b.Run(fmt.Sprintf("err=%.2f", rate), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				sched := &sim.Scheduler{}
+				bus := canbus.New(sched, canbus.Config{ErrorRate: rate, Seed: 42})
+				tx := bus.MustAttach("tx")
+				bus.MustAttach("rx")
+				f := canbus.MustDataFrame(0x123, []byte{1, 2, 3, 4})
+				for j := 0; j < 200; j++ {
+					if err := tx.Send(f); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sched.Run()
+				util = bus.Utilisation()
+			}
+			b.ReportMetric(util*100, "bus_util_%")
+		})
+	}
+}

@@ -1,0 +1,214 @@
+// Command carsim runs the connected-car simulation: it can print the Fig. 2
+// topology and Fig. 3/4 architecture views, replay the sixteen Table I
+// attack scenarios under selectable enforcement regimes, and trace bus
+// activity.
+//
+// Usage:
+//
+//	carsim -print-topology
+//	carsim -attack all -enforcement none,software,hpe
+//	carsim -attack EVECU-1 -enforcement hpe -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/canbus"
+	"repro/internal/car"
+	"repro/internal/hpe"
+	"repro/internal/report"
+)
+
+func main() {
+	topology := flag.Bool("print-topology", false, "print the Fig. 2 topology and exit")
+	nodeArch := flag.String("print-node", "", "print the Fig. 3 internals of the named node and exit")
+	hpeView := flag.Bool("print-hpe", false, "print the Fig. 4 policy-engine view of the EV-ECU and exit")
+	attackSel := flag.String("attack", "", "threat id to replay, or \"all\"")
+	enforcement := flag.String("enforcement", "none,hpe", "comma-separated regimes: none, software, hpe")
+	trace := flag.Bool("trace", false, "print bus trace events during attacks")
+	latency := flag.Bool("latency", false, "run the differing-criticality latency experiment (E1)")
+	flag.Parse()
+
+	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool) error {
+	if topology {
+		fmt.Print(report.Topology())
+		return nil
+	}
+	if nodeArch != "" {
+		fmt.Print(report.NodeArchitecture(nodeArch))
+		return nil
+	}
+	if hpeView {
+		return printHPEView()
+	}
+	if latency {
+		return runLatency()
+	}
+	if attackSel == "" {
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency or -attack")
+	}
+	return runAttacks(attackSel, enforcement, trace)
+}
+
+// runLatency executes the E1 experiment matrix: {quiet, flood} x {none, hpe}.
+func runLatency() error {
+	h, err := attack.NewHarness()
+	if err != nil {
+		return err
+	}
+	fmt.Println("E1: per-class delivery latency under a high-priority flood (250 ms horizon)")
+	cases := []struct {
+		label string
+		cfg   attack.LatencyConfig
+	}{
+		{"quiet bus, no enforcement", attack.LatencyConfig{Enforce: attack.EnforceNone}},
+		{"flooded bus, no enforcement", attack.LatencyConfig{Enforce: attack.EnforceNone, Flood: true}},
+		{"flooded bus, HPE deployed", attack.LatencyConfig{Enforce: attack.EnforceHPE, Flood: true}},
+	}
+	for _, cs := range cases {
+		stats, err := h.MeasureLatency(cs.cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s:\n", cs.label)
+		for _, s := range stats {
+			fmt.Println("  ", s)
+		}
+	}
+	return nil
+}
+
+func printHPEView() error {
+	h, err := attack.NewHarness()
+	if err != nil {
+		return err
+	}
+	c := car.MustNew(car.Config{})
+	engines, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.HPEView(engines[car.NodeEVECU], h.Compiled, car.ModeNormal))
+	return nil
+}
+
+func parseRegimes(s string) ([]attack.Enforcement, error) {
+	var out []attack.Enforcement
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(part)) {
+		case "none":
+			out = append(out, attack.EnforceNone)
+		case "software":
+			out = append(out, attack.EnforceSoftware)
+		case "hpe":
+			out = append(out, attack.EnforceHPE)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown enforcement regime %q", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no enforcement regimes selected")
+	}
+	return out, nil
+}
+
+func runAttacks(sel, enforcement string, trace bool) error {
+	regimes, err := parseRegimes(enforcement)
+	if err != nil {
+		return err
+	}
+	h, err := attack.NewHarness()
+	if err != nil {
+		return err
+	}
+	var scenarios []attack.Scenario
+	if sel == "all" {
+		scenarios = attack.Scenarios()
+	} else {
+		sc, ok := attack.ScenarioFor(sel)
+		if !ok {
+			return fmt.Errorf("unknown threat id %q (try \"all\")", sel)
+		}
+		scenarios = []attack.Scenario{sc}
+	}
+	_ = trace // trace wiring below uses per-run cars; see verbose note.
+
+	results, err := h.RunAll(scenarios, regimes...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Attack matrix: %d scenario(s) x %d regime(s)\n\n", len(scenarios), len(regimes))
+	fmt.Print(report.AttackResults(results))
+	fmt.Println()
+	for _, r := range results {
+		fmt.Println(" ", r)
+	}
+	if trace {
+		fmt.Println("\nBus trace of the first scenario under the last regime:")
+		return traceOne(scenarios[0], regimes[len(regimes)-1], h)
+	}
+	return nil
+}
+
+// traceOne reruns a single scenario with a tracer attached, printing every
+// bus event.
+func traceOne(sc attack.Scenario, enf attack.Enforcement, h *attack.Harness) error {
+	c := car.MustNew(car.Config{})
+	c.Bus().SetTracer(func(e canbus.TraceEvent) { fmt.Println("   ", e) })
+	if enf == attack.EnforceHPE {
+		if _, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...); err != nil {
+			return err
+		}
+	}
+	if sc.Setup != nil {
+		if err := sc.Setup(c); err != nil {
+			return err
+		}
+		c.Scheduler().Run()
+	}
+	c.SetMode(sc.Mode)
+	var attacker *canbus.Node
+	switch sc.Placement {
+	case attack.Inside:
+		n, ok := c.Node(sc.Attacker)
+		if !ok {
+			return fmt.Errorf("unknown node %q", sc.Attacker)
+		}
+		n.Controller().CompromiseFilters()
+		attacker = n
+	case attack.Outside:
+		n, err := c.Bus().Attach(sc.Attacker)
+		if err != nil {
+			return err
+		}
+		attacker = n
+	}
+	for _, inj := range sc.Injections {
+		f, err := canbus.NewDataFrame(inj.ID, inj.Data)
+		if err != nil {
+			return err
+		}
+		n := inj.Repeat
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			_ = attacker.Send(f)
+		}
+	}
+	c.Scheduler().Run()
+	fmt.Printf("    outcome: succeeded=%v\n", sc.Succeeded(c.State()))
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command threatmodel runs the connected-car threat-modelling pipeline and
+// prints the reproduced Table I, the derived per-threat restrictions and,
+// optionally, the guideline document and the enforceable policy DSL.
+//
+// Usage:
+//
+//	threatmodel [-guidelines] [-policy] [-version N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/car"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/threatmodel"
+)
+
+func main() {
+	guidelines := flag.Bool("guidelines", false, "also print the guideline-based security model (baseline)")
+	policyOut := flag.Bool("policy", false, "also print the derived policy set in DSL form")
+	profile := flag.Bool("profile", false, "also print the per-asset/per-entry-point risk profile")
+	version := flag.Uint64("version", 1, "policy version stamp")
+	flag.Parse()
+
+	if err := run(*guidelines, *policyOut, *profile, *version); err != nil {
+		fmt.Fprintln(os.Stderr, "threatmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(guidelines, policyOut, profile bool, version uint64) error {
+	model, err := core.BuildModel(car.UseCase(), car.Threats(), "table-i", version)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Threat modelling of the connected car application use case (Table I)")
+	fmt.Println()
+	fmt.Print(report.TableI(model.Analysis, car.TableRowOrder))
+	fmt.Println()
+	fmt.Printf("threats: %d   assets: %d   entry points: %d   modes: %v\n",
+		len(model.Analysis.Threats), len(model.Analysis.UseCase.Assets),
+		len(model.Analysis.UseCase.EntryPoints), model.Analysis.UseCase.Modes)
+
+	fmt.Println("\nPer-threat enforcement points (policy column expansion):")
+	for _, r := range model.Restrictions {
+		fmt.Printf("  %-8s -> tighten %-2s at node %s\n", r.ThreatID, r.Action, r.Node)
+	}
+
+	if profile {
+		fmt.Println("\nRisk profile:")
+		fmt.Print(threatmodel.Profile(model.Analysis).String())
+	}
+	if guidelines {
+		fmt.Println("\nGuideline-based security model (traditional approach):")
+		for i, g := range model.Guidelines.Guidelines {
+			fmt.Printf("  %2d. %s\n", i+1, g)
+		}
+	}
+	if policyOut {
+		fmt.Println("\nDerived policy set (DSL):")
+		fmt.Print(model.Policies.String())
+	}
+	return nil
+}

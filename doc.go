@@ -1,0 +1,28 @@
+// Package repro reproduces "Policy-Based Security Modelling and Enforcement
+// Approach for Emerging Embedded Architectures" (Hagan, Siddiqui & Sezer,
+// IEEE SOCC 2018, DOI 10.1109/SOCC.2018.8618544) as a Go library.
+//
+// The paper derives enforceable security policies directly from application
+// threat modelling (STRIDE classification, DREAD risk scoring) and enforces
+// them with a hardware policy engine between a CAN controller and its
+// transceiver, complemented by an SELinux-style software MAC. This module
+// implements the approach end to end on a simulated substrate:
+//
+//   - internal/sim       — discrete-event simulation kernel
+//   - internal/canbus    — bit-accurate CAN 2.0 bus (ISO 11898) simulation
+//   - internal/stride    — STRIDE categorisation
+//   - internal/dread     — DREAD scoring with a qualitative rubric
+//   - internal/policy    — policy model, DSL, compiler, signed bundles
+//   - internal/hpe       — the Fig. 4 hardware policy engine
+//   - internal/mac       — SELinux-style type-enforcement MAC
+//   - internal/threatmodel — the Fig. 1 modelling pipeline
+//   - internal/car       — the connected-car case study (Figs. 2-3, Table I)
+//   - internal/attack    — attack injection and measurement harness
+//   - internal/lifecycle — Fig. 1 life-cycle and response-cycle economics
+//   - internal/report    — table and figure renderers
+//   - internal/core      — the paper's contribution glued end to end
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,355 @@
+// Integration tests exercising the full stack across module boundaries:
+// modelling -> policy -> signing -> provisioning -> bus traffic -> attack ->
+// update, in single flows that no package-level test covers end to end.
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/behaviour"
+	"repro/internal/canbus"
+	"repro/internal/car"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/hpe"
+	"repro/internal/lifecycle"
+	"repro/internal/mac"
+	"repro/internal/policy"
+	"repro/internal/report"
+)
+
+// testEntropy yields deterministic bytes for key generation.
+type testEntropy byte
+
+func (e testEntropy) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(e) + byte(i*3)
+	}
+	return len(p), nil
+}
+
+// TestFullProductLifecycle walks the entire Fig. 1 story in one flow:
+// model, derive, sign, provision, verify legitimate operation, run an
+// attack, and confirm the update path.
+func TestFullProductLifecycle(t *testing.T) {
+	// Design time: threat modelling and both countermeasure styles.
+	model, err := core.BuildModel(car.UseCase(), car.Threats(), "table-i", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Analysis.Threats) != 16 {
+		t.Fatalf("threats = %d", len(model.Analysis.Threats))
+	}
+
+	// The derived policy round-trips through its own DSL.
+	reparsed, err := policy.Parse(model.Policies.String())
+	if err != nil {
+		t.Fatalf("derived policy does not reparse: %v", err)
+	}
+	if len(reparsed.Rules) != len(model.Policies.Rules) {
+		t.Fatal("derived policy lost rules through the DSL")
+	}
+
+	// Manufacturing: provision the device with the OEM key.
+	oem, err := core.NewOEM(testEntropy(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := car.MustNew(car.Config{})
+	dev, err := core.Provision(c.Bus(), c, oem.PublicKey(), car.AllNodes, car.AllModes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := oem.Issue(model.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ApplyUpdate(bundle); err != nil {
+		t.Fatal(err)
+	}
+
+	// In the field: normal operation under enforcement.
+	c.StartTraffic(time.Millisecond, 50*time.Millisecond, 65)
+	c.Scheduler().Run()
+	s := c.State()
+	if s.ActualSpeed != 65 || s.DisplayedSpeed != 65 {
+		t.Fatalf("telemetry broken under enforcement: %+v", s)
+	}
+	if err := c.LockDoors(); err != nil {
+		t.Fatal(err)
+	}
+	c.Scheduler().Run()
+	if !c.State().DoorsLocked {
+		t.Fatal("legitimate remote lock blocked")
+	}
+
+	// Crash: the fail-safe path must work under enforcement too.
+	if err := c.TriggerCrash(); err != nil {
+		t.Fatal(err)
+	}
+	c.Scheduler().Run()
+	s = c.State()
+	if !s.FailSafeTriggered || s.Propulsion || s.DoorsLocked {
+		t.Fatalf("crash response broken under enforcement: %+v", s)
+	}
+
+	// Attack in the field: compromised infotainment tries the EPS.
+	c.SetMode(car.ModeNormal)
+	info, _ := c.Node(car.NodeInfotainment)
+	info.Controller().CompromiseFilters()
+	if err := info.Send(canbus.MustDataFrame(car.IDEPSCommand, []byte{car.OpDisable})); err != nil {
+		t.Fatal(err)
+	}
+	c.Scheduler().Run()
+	if !c.State().EPSActive {
+		t.Fatal("EPS attack succeeded under installed policy")
+	}
+
+	// Post-deployment: an update supersedes the installed version.
+	model2, err := core.BuildModel(car.UseCase(), car.Threats(), "table-i", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := oem.Issue(model2.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ApplyUpdate(b2); err != nil {
+		t.Fatal(err)
+	}
+	if dev.PolicyVersion() != 2 {
+		t.Fatalf("version = %d", dev.PolicyVersion())
+	}
+}
+
+// TestDefenceInDepthLayers stacks all three enforcement layers on one
+// vehicle — software MAC, identifier HPE, situational rules — and checks
+// each catches exactly the class it is responsible for.
+func TestDefenceInDepthLayers(t *testing.T) {
+	model, err := core.BuildModel(car.UseCase(), car.Threats(), "table-i", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 1: software MAC for application-level requests.
+	srv := mac.NewServer()
+	module, err := core.DeriveMACModule(model.Analysis, "car-base", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Load(module); err != nil {
+		t.Fatal(err)
+	}
+	// The infotainment app asks its OS to transmit a tracking report: the
+	// MAC denies before anything reaches the bus.
+	d := srv.Check(core.MACContext(car.NodeInfotainment),
+		core.MessageContext(car.IDTrackingReport), core.MACClassCAN, core.MACPermWrite)
+	if d.Allowed {
+		t.Fatal("MAC layer failed")
+	}
+
+	// Layer 2+3: hardware engine plus situational wrap on the car.
+	h, err := attack.NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := car.MustNew(car.Config{})
+	engines, err := hpe.Deploy(c.Bus(), h.Compiled, c, hpe.DefaultCycleModel(), car.AllNodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doors, _ := c.Node(car.NodeDoorLocks)
+	guard := behaviour.New(engines[car.NodeDoorLocks], c.Scheduler().Now)
+	if err := guard.AddRule(&behaviour.SituationalDeny{
+		Label: "no-unlock-in-motion",
+		When: behaviour.SituationFunc{Name: "in motion", Fn: func() bool {
+			return c.State().ActualSpeed > 0
+		}},
+		Direction: canbus.Read,
+		IDs:       policy.SingleID(car.IDDoorCommand),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	doors.SetInlineFilter(guard)
+
+	// Kernel compromise kills layer 1...
+	srv.CompromiseKernel()
+	if !srv.Check(core.MACContext(car.NodeInfotainment),
+		core.MessageContext(car.IDTrackingReport), core.MACClassCAN, core.MACPermWrite).Allowed {
+		t.Fatal("compromised kernel should bypass MAC")
+	}
+	// ...but layer 2 still blocks the resulting bus traffic.
+	info, _ := c.Node(car.NodeInfotainment)
+	info.Controller().CompromiseFilters()
+	if err := info.Send(canbus.MustDataFrame(car.IDTrackingReport, []byte{0xEE})); err != nil {
+		t.Fatal(err)
+	}
+	c.Scheduler().Run()
+	if c.State().ExfilReports != 0 {
+		t.Fatal("HPE layer failed after kernel compromise")
+	}
+
+	// Layer 3 blocks credential abuse layer 2 must permit.
+	if err := c.LockDoors(); err != nil {
+		t.Fatal(err)
+	}
+	c.Scheduler().Run()
+	c.StartTraffic(time.Millisecond, 5*time.Millisecond, 50)
+	c.Scheduler().Run()
+	if err := c.UnlockDoors(); err != nil {
+		t.Fatal(err)
+	}
+	c.Scheduler().Run()
+	if !c.State().DoorsLocked {
+		t.Fatal("situational layer failed")
+	}
+}
+
+// TestFleetRolloutAcrossRealDevices drives the OEM-side staged rollout
+// against a fleet of fully provisioned simulated vehicles, including one
+// provisioned with the wrong trust anchor: the canary stage catches it,
+// the rollout aborts, and after the bad vehicle is fixed a re-run
+// completes idempotently.
+func TestFleetRolloutAcrossRealDevices(t *testing.T) {
+	oem, err := core.NewOEM(testEntropy(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.BuildModel(car.UseCase(), car.Threats(), "table-i", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := oem.Issue(model.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10
+	vehicles := make([]fleet.Vehicle, 0, n)
+	devices := map[string]*core.Device{}
+	cars := map[string]*car.Car{}
+	provision := func(vid string, key []byte) {
+		c := car.MustNew(car.Config{})
+		dev, err := core.Provision(c.Bus(), c, key, car.AllNodes, car.AllModes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devices[vid] = dev
+		cars[vid] = c
+		vehicles = append(vehicles, core.FleetVehicle{VID: vid, Dev: dev})
+	}
+	wrongOEM, _ := core.NewOEM(testEntropy(99))
+	for i := 0; i < n; i++ {
+		vid := fmt.Sprintf("VIN-%03d", i)
+		key := oem.PublicKey()
+		if i == 0 {
+			key = wrongOEM.PublicKey() // mis-provisioned vehicle, sorts first
+		}
+		provision(vid, key)
+	}
+
+	// First rollout: the canary (VIN-000) rejects the signature; abort.
+	report, err := fleet.Rollout(vehicles, bundle, fleet.DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Aborted {
+		t.Fatalf("mis-provisioned canary did not abort the rollout: %+v", report)
+	}
+	if report.Applied != 0 {
+		t.Errorf("applied before abort = %d", report.Applied)
+	}
+
+	// Fix the bad vehicle (re-provision its trust anchor) and re-run: the
+	// rollout completes and every device runs v1.
+	cFixed := car.MustNew(car.Config{})
+	devFixed, err := core.Provision(cFixed.Bus(), cFixed, oem.PublicKey(), car.AllNodes, car.AllModes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices["VIN-000"] = devFixed
+	vehicles[0] = core.FleetVehicle{VID: "VIN-000", Dev: devFixed}
+
+	report, err = fleet.Rollout(vehicles, bundle, fleet.DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Aborted || report.Applied != n {
+		t.Fatalf("re-run report = %+v", report)
+	}
+	for vid, dev := range devices {
+		if dev.PolicyVersion() != 1 {
+			t.Errorf("%s runs policy v%d, want v1", vid, dev.PolicyVersion())
+		}
+	}
+
+	// A second identical rollout is a clean no-op (idempotency).
+	report, err = fleet.Rollout(vehicles, bundle, fleet.DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Aborted || report.Failed != 0 || report.Applied != n {
+		t.Fatalf("idempotent re-run report = %+v", report)
+	}
+}
+
+// TestArtifactsRenderTogether smoke-checks that every report view renders
+// from one shared analysis without panics and with consistent content.
+func TestArtifactsRenderTogether(t *testing.T) {
+	a, err := car.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := report.TableI(a, car.TableRowOrder)
+	topo := report.Topology()
+	lc := report.Lifecycle(lifecycle.Pipeline())
+	cmp, err := lifecycle.Compare(lifecycle.DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparison := report.Comparison(cmp, 2, 0.25)
+	for i, out := range []string{tbl, topo, lc, comparison} {
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("artifact %d rendered empty", i)
+		}
+	}
+	// Cross-artifact consistency: every asset in Table I hosts a node shown
+	// in the topology.
+	for _, asset := range a.UseCase.Assets {
+		if !strings.Contains(topo, asset.Node) {
+			t.Errorf("asset node %s missing from topology", asset.Node)
+		}
+	}
+}
+
+// TestDeterministicReplay: two identical simulations produce identical
+// traces — the property every experiment in EXPERIMENTS.md relies on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		c := car.MustNew(car.Config{ErrorRate: 0.05, Seed: 99})
+		var trace []string
+		c.Bus().SetTracer(func(e canbus.TraceEvent) { trace = append(trace, e.String()) })
+		c.StartTraffic(time.Millisecond, 30*time.Millisecond, 42)
+		if err := c.LockDoors(); err != nil {
+			t.Fatal(err)
+		}
+		c.Scheduler().Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no trace events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package attack implements the adversarial half of the case study: one
+// executable attack scenario per Table I threat, plus a harness that runs a
+// scenario against a fresh car under a chosen enforcement regime and
+// measures whether the attack's effect materialised.
+//
+// Two attacker placements from §V-B.2 are modelled:
+//
+//   - Inside attacks launch from a compromised existing node: its firmware is
+//     subverted (acceptance filters bypassed) and it transmits forged frames.
+//     A deployed HPE still sits between that node's controller and
+//     transceiver, so its approved *writing* list curtails the attack.
+//   - Outside attacks launch from a malicious node introduced onto the bus.
+//     Such a node carries no HPE; the defence is the victims' approved
+//     *reading* lists blocking unexpected messages.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/canbus"
+	"repro/internal/car"
+	"repro/internal/hpe"
+	"repro/internal/policy"
+	"repro/internal/threatmodel"
+)
+
+// Placement distinguishes the two attacker models of §V-B.2.
+type Placement uint8
+
+// Placements.
+const (
+	// Inside: a compromised legitimate node.
+	Inside Placement = iota + 1
+	// Outside: a malicious node introduced onto the bus.
+	Outside
+)
+
+// String returns the placement name.
+func (p Placement) String() string {
+	switch p {
+	case Inside:
+		return "inside"
+	case Outside:
+		return "outside"
+	default:
+		return "invalid"
+	}
+}
+
+// Enforcement selects the defensive configuration under test.
+type Enforcement uint8
+
+// Enforcement regimes.
+const (
+	// EnforceNone removes all filtering beyond CAN's own acceptance
+	// filters (which are identifier-based and mode-unaware).
+	EnforceNone Enforcement = iota + 1
+	// EnforceSoftware relies on the controllers' firmware acceptance
+	// filters only; the compromised node's own filters are bypassed.
+	EnforceSoftware
+	// EnforceHPE deploys a hardware policy engine with the compiled
+	// connected-car policy on every legitimate node.
+	EnforceHPE
+)
+
+// String returns the regime name.
+func (e Enforcement) String() string {
+	switch e {
+	case EnforceNone:
+		return "none"
+	case EnforceSoftware:
+		return "software"
+	case EnforceHPE:
+		return "hpe"
+	default:
+		return "invalid"
+	}
+}
+
+// Injection is one malicious frame sent during a scenario.
+type Injection struct {
+	// ID and Data form the forged frame.
+	ID   uint32
+	Data []byte
+	// Repeat sends the frame this many times (min 1).
+	Repeat int
+}
+
+// Scenario is one executable Table I attack.
+type Scenario struct {
+	// ThreatID links to the rated threat (car.Threat* constants).
+	ThreatID string
+	// Name is a short human-readable label.
+	Name string
+	// Placement selects inside/outside attacker.
+	Placement Placement
+	// Attacker names the compromised node (Inside) or the rogue node to
+	// attach (Outside).
+	Attacker string
+	// Mode is the car mode during the attack.
+	Mode policy.Mode
+	// Setup prepares vehicle state before injection (lock doors, crash...).
+	Setup func(c *car.Car) error
+	// Injections are the forged frames.
+	Injections []Injection
+	// Succeeded inspects post-attack state: true means the attack achieved
+	// its effect.
+	Succeeded func(s car.State) bool
+}
+
+// Result is the measured outcome of one scenario run.
+type Result struct {
+	// ThreatID and Name echo the scenario.
+	ThreatID string
+	Name     string
+	// Enforcement echoes the regime under test.
+	Enforcement Enforcement
+	// Placement echoes the attacker model.
+	Placement Placement
+	// Injected counts malicious frames the attacker attempted.
+	Injected int
+	// WriteBlocked counts frames stopped at the attacker's write filter.
+	WriteBlocked uint64
+	// ReadBlocked counts frames stopped at victims' read filters.
+	ReadBlocked uint64
+	// Succeeded reports whether the attack achieved its effect.
+	Succeeded bool
+	// LegitimateOK reports whether the post-attack functional probe passed
+	// (no false positives introduced by enforcement).
+	LegitimateOK bool
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	out := "BLOCKED"
+	if r.Succeeded {
+		out = "SUCCEEDED"
+	}
+	return fmt.Sprintf("%-8s %-42s %-8s %-7s injected=%d wblk=%d rblk=%d -> %s",
+		r.ThreatID, r.Name, r.Enforcement, r.Placement, r.Injected, r.WriteBlocked, r.ReadBlocked, out)
+}
+
+// Harness runs scenarios against fresh cars.
+type Harness struct {
+	// Compiled is the policy loaded into HPEs under EnforceHPE.
+	Compiled *policy.Compiled
+	// Cycles is the HPE cycle model.
+	Cycles hpe.CycleModel
+	// Seed feeds bus error injection (0 disables errors entirely).
+	Seed uint64
+}
+
+// NewHarness derives and compiles the connected-car policy (via the
+// threat-modelling pipeline) and returns a ready harness.
+func NewHarness() (*Harness, error) {
+	analysis, err := car.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	set, err := threatmodel.DerivePolicies(analysis, "table-i", 1)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := policy.Compile(set, policy.CompileOptions{
+		Subjects: car.AllNodes,
+		Modes:    car.AllModes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{Compiled: compiled, Cycles: hpe.DefaultCycleModel()}, nil
+}
+
+// stepTime spaces injected frames apart on the virtual clock.
+const stepTime = 2 * time.Millisecond
+
+// Run executes one scenario under one enforcement regime on a fresh car and
+// returns the measured result.
+func (h *Harness) Run(sc Scenario, enf Enforcement) (Result, error) {
+	c, err := car.New(car.Config{Seed: h.Seed})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		ThreatID:    sc.ThreatID,
+		Name:        sc.Name,
+		Enforcement: enf,
+		Placement:   sc.Placement,
+	}
+
+	switch enf {
+	case EnforceHPE:
+		if _, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...); err != nil {
+			return Result{}, err
+		}
+	case EnforceNone:
+		// Strip even the firmware acceptance filters: controllers in
+		// promiscuous mode, the weakest credible configuration.
+		for _, name := range car.AllNodes {
+			if n, ok := c.Node(name); ok {
+				n.Controller().SetFilters()
+			}
+		}
+	}
+
+	// Scenario preparation happens in Normal mode with enforcement already
+	// in place: legitimate setup actions must pass the policy.
+	if sc.Setup != nil {
+		if err := sc.Setup(c); err != nil {
+			return Result{}, fmt.Errorf("attack: setup for %s: %w", sc.ThreatID, err)
+		}
+		c.Scheduler().Run()
+	}
+	c.SetMode(sc.Mode)
+
+	attacker, err := h.placeAttacker(c, sc, enf)
+	if err != nil {
+		return Result{}, err
+	}
+
+	before := c.Bus().Stats()
+	at := c.Scheduler().Now()
+	for _, inj := range sc.Injections {
+		n := inj.Repeat
+		if n < 1 {
+			n = 1
+		}
+		frame, err := canbus.NewDataFrame(inj.ID, inj.Data)
+		if err != nil {
+			return Result{}, fmt.Errorf("attack: bad injection for %s: %w", sc.ThreatID, err)
+		}
+		for i := 0; i < n; i++ {
+			at += stepTime
+			res.Injected++
+			f := frame.Clone()
+			c.Scheduler().At(at, func(time.Duration) {
+				_ = attacker.Send(f) // blocked sends are measured, not errors
+			})
+		}
+	}
+	c.Scheduler().Run()
+
+	after := c.Bus().Stats()
+	res.WriteBlocked = after.WriteBlocked - before.WriteBlocked
+	res.ReadBlocked = after.ReadBlocked - before.ReadBlocked
+	res.Succeeded = sc.Succeeded(c.State())
+
+	// Functional probe: legitimate traffic must still work after the attack
+	// and under enforcement (switch back to Normal for the probe).
+	c.SetMode(car.ModeNormal)
+	res.LegitimateOK = h.probeLegitimate(c)
+	return res, nil
+}
+
+// placeAttacker returns the node the scenario transmits from, compromising
+// or attaching it as the placement dictates.
+func (h *Harness) placeAttacker(c *car.Car, sc Scenario, enf Enforcement) (*canbus.Node, error) {
+	switch sc.Placement {
+	case Inside:
+		node, ok := c.Node(sc.Attacker)
+		if !ok {
+			return nil, fmt.Errorf("attack: unknown attacker node %q", sc.Attacker)
+		}
+		// Firmware compromise: the node's own acceptance filters fall.
+		node.Controller().CompromiseFilters()
+		return node, nil
+	case Outside:
+		// A malicious node is introduced; it carries no HPE regardless of
+		// regime — the defence is on the victims.
+		return c.Bus().Attach(sc.Attacker)
+	default:
+		return nil, fmt.Errorf("attack: invalid placement %d", sc.Placement)
+	}
+}
+
+// probeLegitimate exercises a representative legitimate action and reports
+// whether it still works: the sensors' obstacle report must still stop
+// propulsion, and the safety module must be able to restore it.
+func (h *Harness) probeLegitimate(c *car.Car) bool {
+	if err := c.RestorePropulsion(); err != nil {
+		return false
+	}
+	c.Scheduler().Run()
+	if !c.State().Propulsion {
+		return false
+	}
+	if err := c.ObstacleStop(); err != nil {
+		return false
+	}
+	c.Scheduler().Run()
+	if c.State().Propulsion {
+		return false
+	}
+	if err := c.RestorePropulsion(); err != nil {
+		return false
+	}
+	c.Scheduler().Run()
+	return c.State().Propulsion
+}
+
+// RunAll executes every scenario under every requested regime.
+func (h *Harness) RunAll(scenarios []Scenario, regimes ...Enforcement) ([]Result, error) {
+	out := make([]Result, 0, len(scenarios)*len(regimes))
+	for _, sc := range scenarios {
+		for _, enf := range regimes {
+			r, err := h.Run(sc, enf)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

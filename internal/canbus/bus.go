@@ -1,0 +1,351 @@
+package canbus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DefaultBitRate is the classical high-speed CAN bit rate used by the
+// connected-car case study (500 kbit/s).
+const DefaultBitRate = 500_000
+
+// errorFrameBits approximates the bus time consumed by an error frame plus
+// error delimiter and interframe space.
+const errorFrameBits = 20
+
+// TraceEventKind tags entries emitted through Bus.SetTracer.
+type TraceEventKind uint8
+
+// Trace event kinds.
+const (
+	// TraceTxStart marks the beginning of a frame transmission.
+	TraceTxStart TraceEventKind = iota + 1
+	// TraceDelivered marks a successful broadcast completion.
+	TraceDelivered
+	// TraceError marks an injected transmission error.
+	TraceError
+	// TraceWriteBlocked marks a frame stopped by an outbound inline filter.
+	TraceWriteBlocked
+	// TraceReadBlocked marks a frame stopped by an inbound inline filter.
+	TraceReadBlocked
+	// TraceBusOff marks a node entering bus-off.
+	TraceBusOff
+)
+
+// String returns the event kind name.
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceTxStart:
+		return "tx-start"
+	case TraceDelivered:
+		return "delivered"
+	case TraceError:
+		return "error"
+	case TraceWriteBlocked:
+		return "write-blocked"
+	case TraceReadBlocked:
+		return "read-blocked"
+	case TraceBusOff:
+		return "bus-off"
+	default:
+		return "invalid"
+	}
+}
+
+// TraceEvent is one bus-level occurrence, reported to the tracer callback.
+type TraceEvent struct {
+	At    time.Duration
+	Kind  TraceEventKind
+	Node  string
+	Frame Frame
+}
+
+// String renders the event in one line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%12v %-13s %-12s %s", e.At, e.Kind, e.Node, e.Frame)
+}
+
+// BusStats aggregates bus-level counters.
+type BusStats struct {
+	// FramesDelivered counts successful broadcasts.
+	FramesDelivered uint64
+	// Errors counts injected transmission errors.
+	Errors uint64
+	// WriteBlocked counts outbound filter blocks across all nodes.
+	WriteBlocked uint64
+	// ReadBlocked counts inbound filter blocks across all nodes.
+	ReadBlocked uint64
+	// BusyTime is the cumulative virtual time the bus carried bits.
+	BusyTime time.Duration
+}
+
+// Config parameterises a Bus.
+type Config struct {
+	// BitRate in bits per second; DefaultBitRate if zero.
+	BitRate int
+	// ErrorRate is the probability that a transmission suffers a bit error
+	// and must be retried. Zero disables error injection.
+	ErrorRate float64
+	// Seed feeds the deterministic RNG used for error injection.
+	Seed uint64
+}
+
+// Bus is the shared broadcast medium of Fig. 2. All attached nodes receive
+// every successfully transmitted frame except the sender; when several nodes
+// contend, the lowest arbitration value (highest priority) wins, and losers
+// retry, as on a real CSMA/CR bus.
+type Bus struct {
+	sched   *sim.Scheduler
+	bitTime time.Duration
+	errRate float64
+	rng     *sim.RNG
+
+	mu     sync.Mutex
+	nodes  []*Node
+	byName map[string]*Node
+	busy   bool
+	stats  BusStats
+	tracer func(TraceEvent)
+}
+
+// New creates a bus driven by the given scheduler.
+func New(sched *sim.Scheduler, cfg Config) *Bus {
+	rate := cfg.BitRate
+	if rate <= 0 {
+		rate = DefaultBitRate
+	}
+	return &Bus{
+		sched:   sched,
+		bitTime: time.Second / time.Duration(rate),
+		errRate: cfg.ErrorRate,
+		rng:     sim.NewRNG(cfg.Seed),
+		byName:  map[string]*Node{},
+	}
+}
+
+// Scheduler returns the simulation scheduler driving this bus.
+func (b *Bus) Scheduler() *sim.Scheduler { return b.sched }
+
+// BitTime returns the duration of a single bit on this bus.
+func (b *Bus) BitTime() time.Duration { return b.bitTime }
+
+// SetTracer installs a callback receiving every TraceEvent. Pass nil to
+// disable tracing.
+func (b *Bus) SetTracer(fn func(TraceEvent)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tracer = fn
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Attach creates a node with the given name and joins it to the bus.
+// Names must be unique per bus.
+func (b *Bus) Attach(name string) (*Node, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.byName[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	n := &Node{
+		name:   name,
+		bus:    b,
+		ctrl:   NewController(),
+		inline: PermissiveFilter{},
+	}
+	b.nodes = append(b.nodes, n)
+	b.byName[name] = n
+	return n, nil
+}
+
+// MustAttach is Attach that panics on duplicate names; for static topologies.
+func (b *Bus) MustAttach(name string) *Node {
+	n, err := b.Attach(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Detach removes a node from the bus (e.g. a malicious node being pulled).
+// The node keeps its statistics but can no longer send or receive.
+func (b *Bus) Detach(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n, ok := b.byName[name]
+	if !ok {
+		return false
+	}
+	delete(b.byName, name)
+	for i, m := range b.nodes {
+		if m == n {
+			b.nodes = append(b.nodes[:i], b.nodes[i+1:]...)
+			break
+		}
+	}
+	n.mu.Lock()
+	n.detached = true
+	n.txq = nil
+	n.mu.Unlock()
+	return true
+}
+
+// Node returns the attached node with the given name.
+func (b *Bus) Node(name string) (*Node, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n, ok := b.byName[name]
+	return n, ok
+}
+
+// Nodes returns the attached nodes sorted by name.
+func (b *Bus) Nodes() []*Node {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := append([]*Node(nil), b.nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (b *Bus) emit(e TraceEvent) {
+	if b.tracer != nil {
+		b.tracer(e)
+	}
+}
+
+func (b *Bus) noteWriteBlocked(n *Node, f Frame) {
+	b.mu.Lock()
+	b.stats.WriteBlocked++
+	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceWriteBlocked, Node: n.name, Frame: f})
+	b.mu.Unlock()
+}
+
+func (b *Bus) noteReadBlocked(n *Node, f Frame) {
+	b.mu.Lock()
+	b.stats.ReadBlocked++
+	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceReadBlocked, Node: n.name, Frame: f})
+	b.mu.Unlock()
+}
+
+// kick schedules an arbitration round at the current virtual instant. The
+// one-event deferral models start-of-frame synchronisation: every node that
+// queued a frame "now" contends in the same round instead of the first
+// caller seizing the bus.
+func (b *Bus) kick() {
+	b.sched.After(0, func(time.Duration) { b.arbitrate() })
+}
+
+// arbitrate starts a transmission if the bus is idle and someone has a
+// pending frame.
+func (b *Bus) arbitrate() {
+	b.mu.Lock()
+	if b.busy {
+		b.mu.Unlock()
+		return
+	}
+	winner, frame, contenders := b.arbitrateLocked()
+	if winner == nil {
+		b.mu.Unlock()
+		return
+	}
+	b.busy = true
+	for _, c := range contenders {
+		if c != winner {
+			c.noteArbitrationLoss()
+		}
+	}
+	bits, err := WireBits(frame)
+	if err != nil {
+		// Frames are validated in Send; an encode failure here is a bug.
+		panic(fmt.Errorf("canbus: unencodable queued frame: %w", err))
+	}
+	dur := time.Duration(bits) * b.bitTime
+	failed := b.errRate > 0 && b.rng.Bool(b.errRate)
+	b.stats.BusyTime += dur
+	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxStart, Node: winner.name, Frame: frame})
+	b.mu.Unlock()
+
+	b.sched.After(dur, func(now time.Duration) {
+		b.complete(winner, frame, failed)
+	})
+}
+
+// arbitrateLocked picks the winning node among all nodes with pending
+// frames. Ties on arbitration value are broken by attachment order, which
+// stands in for the bit-level resolution a real bus performs.
+func (b *Bus) arbitrateLocked() (*Node, Frame, []*Node) {
+	var (
+		winner     *Node
+		best       Frame
+		bestVal    uint64
+		contenders []*Node
+	)
+	for _, n := range b.nodes {
+		f, ok := n.pendingHead()
+		if !ok {
+			continue
+		}
+		contenders = append(contenders, n)
+		v := f.ArbitrationValue()
+		if winner == nil || v < bestVal {
+			winner, best, bestVal = n, f, v
+		}
+	}
+	return winner, best, contenders
+}
+
+// complete finishes a transmission: on error the transmitter's TEC grows and
+// the frame is retried (unless bus-off); on success the frame is broadcast
+// to every other node.
+func (b *Bus) complete(tx *Node, f Frame, failed bool) {
+	if failed {
+		st := tx.txError()
+		b.mu.Lock()
+		b.stats.Errors++
+		b.stats.BusyTime += time.Duration(errorFrameBits) * b.bitTime
+		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceError, Node: tx.name, Frame: f})
+		if st == BusOff {
+			b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceBusOff, Node: tx.name, Frame: f})
+		}
+		b.busy = false
+		b.mu.Unlock()
+		b.sched.After(time.Duration(errorFrameBits)*b.bitTime, func(time.Duration) { b.kick() })
+		return
+	}
+	tx.popHead()
+	b.mu.Lock()
+	b.stats.FramesDelivered++
+	receivers := make([]*Node, 0, len(b.nodes)-1)
+	for _, n := range b.nodes {
+		if n != tx {
+			receivers = append(receivers, n)
+		}
+	}
+	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceDelivered, Node: tx.name, Frame: f})
+	b.busy = false
+	b.mu.Unlock()
+	for _, r := range receivers {
+		r.deliver(f)
+	}
+	b.kick()
+}
+
+// Utilisation returns the fraction of elapsed virtual time the bus was busy.
+func (b *Bus) Utilisation() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.sched.Now()
+	if now <= 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTime) / float64(now)
+}

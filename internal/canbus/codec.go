@@ -1,0 +1,290 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// crcPoly is the CAN CRC-15 generator polynomial x^15+x^14+x^10+x^8+x^7+x^4+x^3+1.
+const crcPoly = 0x4599
+
+// CRC15 computes the 15-bit CAN checksum over a bit sequence
+// (each element of bits must be 0 or 1).
+func CRC15(bits []byte) uint16 {
+	var crc uint16
+	for _, b := range bits {
+		in := b & 1
+		crcNext := byte(crc>>14) & 1
+		crc = (crc << 1) & 0x7FFF
+		if crcNext^in == 1 {
+			crc ^= crcPoly
+		}
+	}
+	return crc & 0x7FFF
+}
+
+// Bit-level constants of the CAN frame format.
+const (
+	dominant  = 0
+	recessive = 1
+
+	// stuffRun is the number of equal consecutive bits after which a stuff
+	// bit of opposite polarity is inserted.
+	stuffRun = 5
+
+	// eofBits is the length of the end-of-frame field.
+	eofBits = 7
+
+	// interframeBits is the minimum bus-idle gap between frames.
+	interframeBits = 3
+)
+
+// Codec errors.
+var (
+	ErrStuffViolation = errors.New("canbus: bit stuffing violation")
+	ErrCRCMismatch    = errors.New("canbus: CRC mismatch")
+	ErrTruncated      = errors.New("canbus: truncated bitstream")
+	ErrFormViolation  = errors.New("canbus: form error in fixed-form field")
+)
+
+// appendBits appends the low n bits of v, most significant first.
+func appendBits(dst []byte, v uint64, n int) []byte {
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>uint(i))&1)
+	}
+	return dst
+}
+
+// headerBits renders the frame fields covered by the CRC (SOF through the
+// data field), before stuffing.
+func headerBits(f Frame) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	bits := make([]byte, 0, 128)
+	bits = append(bits, dominant) // SOF
+
+	rtr := byte(dominant)
+	if f.RTR {
+		rtr = recessive
+	}
+	if !f.Extended {
+		// Standard: 11-bit ID, RTR, IDE(=0), r0.
+		bits = appendBits(bits, uint64(f.ID), 11)
+		bits = append(bits, rtr)
+		bits = append(bits, dominant) // IDE
+		bits = append(bits, dominant) // r0
+	} else {
+		// Extended: 11-bit base, SRR(=1), IDE(=1), 18-bit extension, RTR, r1, r0.
+		bits = appendBits(bits, uint64(f.ID>>18), 11)
+		bits = append(bits, recessive) // SRR
+		bits = append(bits, recessive) // IDE
+		bits = appendBits(bits, uint64(f.ID&0x3FFFF), 18)
+		bits = append(bits, rtr)
+		bits = append(bits, recessive) // r1
+		bits = append(bits, dominant)  // r0
+	}
+	bits = appendBits(bits, uint64(f.DLC), 4)
+	for _, b := range f.Data {
+		bits = appendBits(bits, uint64(b), 8)
+	}
+	return bits, nil
+}
+
+// stuff applies CAN bit stuffing: after five consecutive equal bits a bit of
+// opposite polarity is inserted. Returns the stuffed stream.
+func stuff(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)+len(bits)/4)
+	run := 0
+	var last byte = 2 // neither 0 nor 1
+	for _, b := range bits {
+		if b == last {
+			run++
+		} else {
+			run = 1
+			last = b
+		}
+		out = append(out, b)
+		if run == stuffRun {
+			stuffBit := byte(1) - b
+			out = append(out, stuffBit)
+			last = stuffBit
+			run = 1
+		}
+	}
+	return out
+}
+
+// destuff removes stuff bits and detects stuffing violations (six equal
+// consecutive bits inside the stuffed region).
+func destuff(bits []byte) ([]byte, error) {
+	out := make([]byte, 0, len(bits))
+	run := 0
+	var last byte = 2
+	expectStuff := false
+	for i, b := range bits {
+		if expectStuff {
+			if b == last {
+				return nil, fmt.Errorf("%w: at stuffed bit %d", ErrStuffViolation, i)
+			}
+			expectStuff = false
+			run = 1
+			last = b
+			continue
+		}
+		if b == last {
+			run++
+		} else {
+			run = 1
+			last = b
+		}
+		out = append(out, b)
+		if run == stuffRun {
+			expectStuff = true
+		}
+	}
+	return out, nil
+}
+
+// EncodeBits renders a frame into its on-wire bit sequence: the stuffed
+// SOF..CRC region followed by the fixed-form CRC delimiter, ACK slot, ACK
+// delimiter and EOF. The ACK slot is emitted recessive, as transmitted by
+// the sender (receivers overwrite it with a dominant bit on a real bus).
+func EncodeBits(f Frame) ([]byte, error) {
+	hdr, err := headerBits(f)
+	if err != nil {
+		return nil, err
+	}
+	crc := CRC15(hdr)
+	stuffRegion := append([]byte(nil), hdr...)
+	stuffRegion = appendBits(stuffRegion, uint64(crc), 15)
+	wire := stuff(stuffRegion)
+	wire = append(wire, recessive) // CRC delimiter
+	wire = append(wire, recessive) // ACK slot (as transmitted)
+	wire = append(wire, recessive) // ACK delimiter
+	for i := 0; i < eofBits; i++ {
+		wire = append(wire, recessive)
+	}
+	return wire, nil
+}
+
+// DecodeBits parses a bit sequence produced by EncodeBits back into a frame,
+// verifying stuffing, CRC and the fixed-form trailer.
+func DecodeBits(bits []byte) (Frame, error) {
+	const trailer = 3 + eofBits // CRC delim + ACK slot + ACK delim + EOF
+	if len(bits) < trailer+1 {
+		return Frame{}, ErrTruncated
+	}
+	body, tail := bits[:len(bits)-trailer], bits[len(bits)-trailer:]
+	// CRC delimiter and ACK delimiter must be recessive; EOF all recessive.
+	if tail[0] != recessive || tail[2] != recessive {
+		return Frame{}, ErrFormViolation
+	}
+	for _, b := range tail[3:] {
+		if b != recessive {
+			return Frame{}, ErrFormViolation
+		}
+	}
+	raw, err := destuff(body)
+	if err != nil {
+		return Frame{}, err
+	}
+	if len(raw) < 1+11+3+4+15 {
+		return Frame{}, ErrTruncated
+	}
+	if raw[0] != dominant {
+		return Frame{}, ErrFormViolation
+	}
+	pos := 1
+	take := func(n int) (uint64, error) {
+		if pos+n > len(raw) {
+			return 0, ErrTruncated
+		}
+		var v uint64
+		for i := 0; i < n; i++ {
+			v = v<<1 | uint64(raw[pos+i])
+		}
+		pos += n
+		return v, nil
+	}
+	var f Frame
+	base, err := take(11)
+	if err != nil {
+		return Frame{}, err
+	}
+	b12, err := take(1) // RTR (std) or SRR (ext)
+	if err != nil {
+		return Frame{}, err
+	}
+	ide, err := take(1)
+	if err != nil {
+		return Frame{}, err
+	}
+	if ide == dominant {
+		f.ID = uint32(base)
+		f.RTR = b12 == recessive
+		if _, err := take(1); err != nil { // r0
+			return Frame{}, err
+		}
+	} else {
+		f.Extended = true
+		ext, err := take(18)
+		if err != nil {
+			return Frame{}, err
+		}
+		f.ID = uint32(base)<<18 | uint32(ext)
+		rtr, err := take(1)
+		if err != nil {
+			return Frame{}, err
+		}
+		f.RTR = rtr == recessive
+		if _, err := take(2); err != nil { // r1, r0
+			return Frame{}, err
+		}
+	}
+	dlc, err := take(4)
+	if err != nil {
+		return Frame{}, err
+	}
+	f.DLC = uint8(dlc)
+	if !f.RTR {
+		n := int(f.DLC)
+		if n > MaxDataLen {
+			return Frame{}, fmt.Errorf("%w: dlc=%d", ErrBadDLC, f.DLC)
+		}
+		f.Data = make([]byte, n)
+		for i := 0; i < n; i++ {
+			v, err := take(8)
+			if err != nil {
+				return Frame{}, err
+			}
+			f.Data[i] = byte(v)
+		}
+	}
+	crcField, err := take(15)
+	if err != nil {
+		return Frame{}, err
+	}
+	if pos != len(raw) {
+		return Frame{}, fmt.Errorf("%w: %d trailing bits", ErrFormViolation, len(raw)-pos)
+	}
+	want := CRC15(raw[:len(raw)-15])
+	if uint16(crcField) != want {
+		return Frame{}, fmt.Errorf("%w: got %04X want %04X", ErrCRCMismatch, crcField, want)
+	}
+	if err := f.Validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// WireBits returns the total number of bits the frame occupies on the bus,
+// including stuffing, trailer and the mandatory interframe space. It is the
+// quantity the bus timing model multiplies by the bit time.
+func WireBits(f Frame) (int, error) {
+	bits, err := EncodeBits(f)
+	if err != nil {
+		return 0, err
+	}
+	return len(bits) + interframeBits, nil
+}

@@ -1,0 +1,99 @@
+package canbus
+
+// ErrorState is the ISO 11898 error-confinement state of a node.
+type ErrorState uint8
+
+// Error confinement states.
+const (
+	// ErrorActive nodes participate fully and send active error flags.
+	ErrorActive ErrorState = iota + 1
+	// ErrorPassive nodes may transmit but signal errors passively.
+	ErrorPassive
+	// BusOff nodes are disconnected from the bus until reset.
+	BusOff
+)
+
+// String returns the state name.
+func (s ErrorState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	default:
+		return "invalid"
+	}
+}
+
+// Error-counter thresholds from ISO 11898-1 §12.
+const (
+	errorPassiveThreshold = 128
+	busOffThreshold       = 256
+
+	txErrorPenalty  = 8 // TEC increment on a transmit error
+	rxErrorPenalty  = 1 // REC increment on a receive error
+	successTxReward = 1 // TEC decrement on successful transmission
+	successRxReward = 1 // REC decrement on successful reception
+)
+
+// ErrorCounters tracks a node's transmit (TEC) and receive (REC) error
+// counters and derives its confinement state. The zero value is an
+// error-active node with clean counters.
+type ErrorCounters struct {
+	tec int
+	rec int
+}
+
+// TEC returns the transmit error counter.
+func (c *ErrorCounters) TEC() int { return c.tec }
+
+// REC returns the receive error counter.
+func (c *ErrorCounters) REC() int { return c.rec }
+
+// State derives the confinement state from the counters.
+func (c *ErrorCounters) State() ErrorState {
+	switch {
+	case c.tec >= busOffThreshold:
+		return BusOff
+	case c.tec >= errorPassiveThreshold || c.rec >= errorPassiveThreshold:
+		return ErrorPassive
+	default:
+		return ErrorActive
+	}
+}
+
+// OnTxError records a transmit error and returns the new state.
+func (c *ErrorCounters) OnTxError() ErrorState {
+	c.tec += txErrorPenalty
+	return c.State()
+}
+
+// OnRxError records a receive error and returns the new state.
+func (c *ErrorCounters) OnRxError() ErrorState {
+	c.rec += rxErrorPenalty
+	return c.State()
+}
+
+// OnTxSuccess records a successful transmission.
+func (c *ErrorCounters) OnTxSuccess() {
+	if c.tec > 0 {
+		c.tec -= successTxReward
+	}
+}
+
+// OnRxSuccess records a successful reception. Per the standard, a node in
+// error-passive with REC above 127 drops back to a value just below the
+// threshold on a successful reception.
+func (c *ErrorCounters) OnRxSuccess() {
+	switch {
+	case c.rec >= errorPassiveThreshold:
+		c.rec = errorPassiveThreshold - 9
+	case c.rec > 0:
+		c.rec -= successRxReward
+	}
+}
+
+// Reset clears both counters (power-on reset after bus-off).
+func (c *ErrorCounters) Reset() { c.tec, c.rec = 0, 0 }

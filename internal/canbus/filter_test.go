@@ -1,0 +1,165 @@
+package canbus
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAcceptanceFilterMatching(t *testing.T) {
+	tests := []struct {
+		name   string
+		filter AcceptanceFilter
+		frame  Frame
+		want   bool
+	}{
+		{"exact hit", ExactFilter(0x123), MustDataFrame(0x123, nil), true},
+		{"exact miss", ExactFilter(0x123), MustDataFrame(0x124, nil), false},
+		{"accept all standard", AcceptAllFilter(), MustDataFrame(0x7FF, nil), true},
+		{"accept all rejects extended", AcceptAllFilter(),
+			Frame{ID: 0x123, Extended: true}, false},
+		{"masked group hit", AcceptanceFilter{Mask: 0x7F0, Code: 0x120},
+			MustDataFrame(0x12A, nil), true},
+		{"masked group miss", AcceptanceFilter{Mask: 0x7F0, Code: 0x120},
+			MustDataFrame(0x130, nil), false},
+		{"extended filter hit", AcceptanceFilter{Mask: 0x1FFFFFFF, Code: 0x18FF0000, Extended: true},
+			Frame{ID: 0x18FF0000, Extended: true}, true},
+		{"extended filter vs standard frame",
+			AcceptanceFilter{Mask: 0x7FF, Code: 0x123, Extended: true},
+			MustDataFrame(0x123, nil), false},
+		{"zero mask matches everything standard", AcceptanceFilter{},
+			MustDataFrame(0x001, nil), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.filter.Matches(tt.frame); got != tt.want {
+				t.Errorf("Matches = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Grant.String() != "grant" || Block.String() != "block" || Verdict(0).String() != "invalid" {
+		t.Error("Verdict strings wrong")
+	}
+	if Read.String() != "read" || Write.String() != "write" || Direction(0).String() != "invalid" {
+		t.Error("Direction strings wrong")
+	}
+	kinds := []TraceEventKind{TraceTxStart, TraceDelivered, TraceError,
+		TraceWriteBlocked, TraceReadBlocked, TraceBusOff}
+	want := []string{"tx-start", "delivered", "error", "write-blocked", "read-blocked", "bus-off"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, k, want[i])
+		}
+	}
+	states := []ErrorState{ErrorActive, ErrorPassive, BusOff}
+	wantStates := []string{"error-active", "error-passive", "bus-off"}
+	for i, s := range states {
+		if s.String() != wantStates[i] {
+			t.Errorf("state %d = %q", i, s)
+		}
+	}
+}
+
+func TestRemoteFrameRequestResponse(t *testing.T) {
+	sched := &sim.Scheduler{}
+	bus := New(sched, Config{})
+	requester := bus.MustAttach("requester")
+	provider := bus.MustAttach("provider")
+
+	provider.SetRemoteResponder(0x123, func() []byte { return []byte{0xAB, 0xCD} })
+	var got []Frame
+	requester.Controller().SetHandler(func(f Frame) {
+		if !f.RTR {
+			got = append(got, f)
+		}
+	})
+
+	rtr, err := NewRemoteFrame(0x123, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := requester.Send(rtr); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("requester received %d data frames, want 1", len(got))
+	}
+	if got[0].ID != 0x123 || got[0].Data[0] != 0xAB || got[0].Data[1] != 0xCD {
+		t.Errorf("reply = %v", got[0])
+	}
+}
+
+func TestRemoteResponderRemoval(t *testing.T) {
+	sched := &sim.Scheduler{}
+	bus := New(sched, Config{})
+	requester := bus.MustAttach("requester")
+	provider := bus.MustAttach("provider")
+	provider.SetRemoteResponder(0x10, func() []byte { return []byte{1} })
+	provider.SetRemoteResponder(0x10, nil) // removed
+
+	n := 0
+	requester.Controller().SetHandler(func(f Frame) {
+		if !f.RTR {
+			n++
+		}
+	})
+	rtr, _ := NewRemoteFrame(0x10, 1)
+	if err := requester.Send(rtr); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if n != 0 {
+		t.Error("removed responder still replied")
+	}
+}
+
+func TestRemoteResponseRespectsInlineFilter(t *testing.T) {
+	// The auto-reply travels the provider's outbound path: a write filter
+	// blocking the ID suppresses the reply (the HPE governs auto-reply
+	// buffers like any other transmission).
+	sched := &sim.Scheduler{}
+	bus := New(sched, Config{})
+	requester := bus.MustAttach("requester")
+	provider := bus.MustAttach("provider")
+	provider.SetRemoteResponder(0x10, func() []byte { return []byte{1} })
+	provider.SetInlineFilter(blockWrites(0x10))
+
+	n := 0
+	requester.Controller().SetHandler(func(f Frame) {
+		if !f.RTR {
+			n++
+		}
+	})
+	rtr, _ := NewRemoteFrame(0x10, 1)
+	if err := requester.Send(rtr); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if n != 0 {
+		t.Error("write filter did not govern the auto-reply")
+	}
+	if provider.Stats().TxBlocked != 1 {
+		t.Errorf("provider TxBlocked = %d", provider.Stats().TxBlocked)
+	}
+}
+
+func TestRemoteResponderOnlyFiresOnRTR(t *testing.T) {
+	sched := &sim.Scheduler{}
+	bus := New(sched, Config{})
+	a := bus.MustAttach("a")
+	b := bus.MustAttach("b")
+	fired := false
+	b.SetRemoteResponder(0x10, func() []byte { fired = true; return []byte{1} })
+	if err := a.Send(MustDataFrame(0x10, []byte{9})); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if fired {
+		t.Error("responder fired on a data frame")
+	}
+}

@@ -1,0 +1,219 @@
+// Package canbus implements a bit-accurate simulation of the CAN 2.0 (ISO
+// 11898) bus that underpins the paper's connected-car case study: data and
+// remote frames, CRC-15 and bit stuffing, priority arbitration, broadcast
+// delivery, acceptance filtering and the error-confinement state machine.
+//
+// The package also defines the InlineFilter seam where the paper's
+// hardware-based policy engine (Fig. 4) is inserted between a node's CAN
+// controller and its transceiver.
+package canbus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxStandardID is the largest 11-bit CAN identifier.
+const MaxStandardID = 0x7FF
+
+// MaxExtendedID is the largest 29-bit CAN identifier.
+const MaxExtendedID = 0x1FFFFFFF
+
+// MaxDataLen is the CAN 2.0 payload limit in bytes.
+const MaxDataLen = 8
+
+// Frame is a CAN 2.0A/B data or remote frame.
+//
+// The zero value is a valid standard data frame with ID 0 and no payload.
+type Frame struct {
+	// ID is the 11-bit (standard) or 29-bit (extended) identifier.
+	ID uint32
+	// Extended selects the 29-bit identifier format (CAN 2.0B).
+	Extended bool
+	// RTR marks a remote transmission request; RTR frames carry no data,
+	// and DLC encodes the length being requested.
+	RTR bool
+	// Data is the payload, at most 8 bytes. For RTR frames it must be empty.
+	Data []byte
+	// DLC is the data length code. For data frames it is derived from
+	// len(Data) during validation; for RTR frames it is the requested length.
+	DLC uint8
+}
+
+// Validation errors.
+var (
+	ErrIDRange   = errors.New("canbus: identifier out of range")
+	ErrDataLen   = errors.New("canbus: payload exceeds 8 bytes")
+	ErrRTRData   = errors.New("canbus: RTR frame must not carry data")
+	ErrBadDLC    = errors.New("canbus: DLC out of range")
+	ErrShortBuf  = errors.New("canbus: buffer too short")
+	ErrBadMarker = errors.New("canbus: bad serialization marker")
+)
+
+// NewDataFrame builds a validated standard data frame.
+func NewDataFrame(id uint32, data []byte) (Frame, error) {
+	f := Frame{ID: id, Data: append([]byte(nil), data...), DLC: uint8(len(data))}
+	if err := f.Validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// MustDataFrame is NewDataFrame for static frames; it panics on invalid input.
+func MustDataFrame(id uint32, data []byte) Frame {
+	f, err := NewDataFrame(id, data)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// NewRemoteFrame builds a validated standard remote frame requesting dlc bytes.
+func NewRemoteFrame(id uint32, dlc uint8) (Frame, error) {
+	f := Frame{ID: id, RTR: true, DLC: dlc}
+	if err := f.Validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// Validate checks identifier range, payload length and RTR consistency, and
+// normalises DLC for data frames.
+func (f *Frame) Validate() error {
+	limit := uint32(MaxStandardID)
+	if f.Extended {
+		limit = MaxExtendedID
+	}
+	if f.ID > limit {
+		return fmt.Errorf("%w: id=0x%X extended=%v", ErrIDRange, f.ID, f.Extended)
+	}
+	if len(f.Data) > MaxDataLen {
+		return fmt.Errorf("%w: len=%d", ErrDataLen, len(f.Data))
+	}
+	if f.RTR {
+		if len(f.Data) != 0 {
+			return ErrRTRData
+		}
+		if f.DLC > MaxDataLen {
+			return fmt.Errorf("%w: dlc=%d", ErrBadDLC, f.DLC)
+		}
+		return nil
+	}
+	f.DLC = uint8(len(f.Data))
+	return nil
+}
+
+// Clone returns a deep copy of the frame.
+func (f Frame) Clone() Frame {
+	c := f
+	if f.Data != nil {
+		c.Data = append([]byte(nil), f.Data...)
+	}
+	return c
+}
+
+// Equal reports whether two frames are identical on the wire.
+func (f Frame) Equal(g Frame) bool {
+	if f.ID != g.ID || f.Extended != g.Extended || f.RTR != g.RTR || f.DLC != g.DLC {
+		return false
+	}
+	if len(f.Data) != len(g.Data) {
+		return false
+	}
+	for i := range f.Data {
+		if f.Data[i] != g.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ArbitrationValue returns the value compared during bus arbitration: lower
+// values are more dominant and win the bus. Standard frames beat extended
+// frames with the same leading bits; data frames beat RTR frames of the same
+// identifier, which matches the dominant/recessive ordering on a real bus.
+func (f Frame) ArbitrationValue() uint64 {
+	var v uint64
+	if f.Extended {
+		v = uint64(f.ID)<<2 | 2 // IDE recessive sorts after standard
+	} else {
+		v = uint64(f.ID) << 2
+	}
+	if f.RTR {
+		v |= 1
+	}
+	return v
+}
+
+// String renders the frame in candump-like notation.
+func (f Frame) String() string {
+	kind := "D"
+	if f.RTR {
+		kind = "R"
+	}
+	fmtID := "%03X"
+	if f.Extended {
+		fmtID = "%08X"
+	}
+	return fmt.Sprintf(fmtID+"#%s[%d]%X", f.ID, kind, f.DLC, f.Data)
+}
+
+// marshalMarker distinguishes serialized frames from garbage.
+const marshalMarker = 0xC4
+
+// MarshalBinary serializes the frame into a compact, self-describing record
+// (marker, flags, id, dlc, data). It implements encoding.BinaryMarshaler.
+func (f Frame) MarshalBinary() ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 7+len(f.Data))
+	buf = append(buf, marshalMarker)
+	var flags byte
+	if f.Extended {
+		flags |= 1
+	}
+	if f.RTR {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, f.ID)
+	buf = append(buf, f.DLC)
+	buf = append(buf, f.Data...)
+	return buf, nil
+}
+
+// UnmarshalBinary deserializes a record produced by MarshalBinary.
+// It implements encoding.BinaryUnmarshaler.
+func (f *Frame) UnmarshalBinary(b []byte) error {
+	if len(b) < 7 {
+		return ErrShortBuf
+	}
+	if b[0] != marshalMarker {
+		return ErrBadMarker
+	}
+	flags := b[1]
+	g := Frame{
+		Extended: flags&1 != 0,
+		RTR:      flags&2 != 0,
+		ID:       binary.BigEndian.Uint32(b[2:6]),
+		DLC:      b[6],
+	}
+	rest := b[7:]
+	if g.RTR {
+		if len(rest) != 0 {
+			return ErrRTRData
+		}
+	} else {
+		if len(rest) != int(g.DLC) {
+			return fmt.Errorf("%w: dlc=%d payload=%d", ErrBadDLC, g.DLC, len(rest))
+		}
+		g.Data = append([]byte(nil), rest...)
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	*f = g
+	return nil
+}

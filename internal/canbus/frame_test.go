@@ -1,0 +1,215 @@
+package canbus
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDataFrame(t *testing.T) {
+	f, err := NewDataFrame(0x123, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 0x123 || f.DLC != 3 || f.RTR || f.Extended {
+		t.Errorf("unexpected frame: %+v", f)
+	}
+}
+
+func TestNewDataFrameCopiesPayload(t *testing.T) {
+	data := []byte{1, 2, 3}
+	f, err := NewDataFrame(1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	if f.Data[0] != 1 {
+		t.Error("frame aliases caller's payload slice")
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		frame Frame
+		want  error
+	}{
+		{"standard id max", Frame{ID: MaxStandardID}, nil},
+		{"standard id overflow", Frame{ID: MaxStandardID + 1}, ErrIDRange},
+		{"extended id max", Frame{ID: MaxExtendedID, Extended: true}, nil},
+		{"extended id overflow", Frame{ID: MaxExtendedID + 1, Extended: true}, ErrIDRange},
+		{"payload max", Frame{ID: 1, Data: make([]byte, 8)}, nil},
+		{"payload overflow", Frame{ID: 1, Data: make([]byte, 9)}, ErrDataLen},
+		{"rtr with data", Frame{ID: 1, RTR: true, Data: []byte{1}}, ErrRTRData},
+		{"rtr dlc ok", Frame{ID: 1, RTR: true, DLC: 8}, nil},
+		{"rtr dlc overflow", Frame{ID: 1, RTR: true, DLC: 9}, ErrBadDLC},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := tt.frame
+			err := f.Validate()
+			if tt.want == nil && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateNormalisesDLC(t *testing.T) {
+	f := Frame{ID: 1, Data: []byte{1, 2}, DLC: 7}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.DLC != 2 {
+		t.Errorf("DLC = %d after Validate, want 2", f.DLC)
+	}
+}
+
+func TestFrameCloneIndependence(t *testing.T) {
+	f := MustDataFrame(5, []byte{1, 2, 3})
+	c := f.Clone()
+	c.Data[0] = 0xFF
+	if f.Data[0] != 1 {
+		t.Error("Clone shares payload storage")
+	}
+	if !f.Equal(f.Clone()) {
+		t.Error("clone not Equal to original")
+	}
+}
+
+func TestFrameEqual(t *testing.T) {
+	a := MustDataFrame(1, []byte{1, 2})
+	tests := []struct {
+		name string
+		b    Frame
+		want bool
+	}{
+		{"identical", MustDataFrame(1, []byte{1, 2}), true},
+		{"different id", MustDataFrame(2, []byte{1, 2}), false},
+		{"different payload", MustDataFrame(1, []byte{1, 3}), false},
+		{"different length", MustDataFrame(1, []byte{1}), false},
+		{"rtr vs data", Frame{ID: 1, RTR: true, DLC: 2}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestArbitrationOrdering(t *testing.T) {
+	// Lower ID wins; data beats RTR at the same ID; standard beats
+	// extended with the same 11-bit prefix.
+	low := MustDataFrame(0x100, nil)
+	high := MustDataFrame(0x200, nil)
+	if low.ArbitrationValue() >= high.ArbitrationValue() {
+		t.Error("lower ID must have lower arbitration value")
+	}
+	data := MustDataFrame(0x100, nil)
+	rtr := Frame{ID: 0x100, RTR: true}
+	if data.ArbitrationValue() >= rtr.ArbitrationValue() {
+		t.Error("data frame must beat RTR frame at the same ID")
+	}
+	std := MustDataFrame(0x100, nil)
+	ext := Frame{ID: 0x100, Extended: true}
+	if std.ArbitrationValue() >= ext.ArbitrationValue() {
+		t.Error("standard frame must beat extended frame")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	frames := []Frame{
+		MustDataFrame(0x123, []byte{1, 2, 3, 4, 5, 6, 7, 8}),
+		MustDataFrame(0, nil),
+		{ID: 0x1FFFFFFF, Extended: true, Data: []byte{0xAA}, DLC: 1},
+		{ID: 0x7FF, RTR: true, DLC: 4},
+	}
+	for _, f := range frames {
+		f := f
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", f, err)
+		}
+		var g Frame
+		if err := g.UnmarshalBinary(b); err != nil {
+			t.Fatalf("unmarshal %v: %v", f, err)
+		}
+		if !f.Equal(g) {
+			t.Errorf("round-trip mismatch: %v -> %v", f, g)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{marshalMarker, 0, 0}},
+		{"bad marker", []byte{0x00, 0, 0, 0, 0, 1, 0}},
+		{"dlc/payload mismatch", []byte{marshalMarker, 0, 0, 0, 0, 1, 3, 9}},
+		{"rtr with payload", []byte{marshalMarker, 2, 0, 0, 0, 1, 0, 9}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var f Frame
+			if err := f.UnmarshalBinary(tt.in); err == nil {
+				t.Error("UnmarshalBinary accepted garbage")
+			}
+		})
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	prop := func(id uint32, ext, rtr bool, payload []byte) bool {
+		f := Frame{Extended: ext, RTR: rtr}
+		if ext {
+			f.ID = id % (MaxExtendedID + 1)
+		} else {
+			f.ID = id % (MaxStandardID + 1)
+		}
+		if rtr {
+			f.DLC = uint8(len(payload) % (MaxDataLen + 1))
+		} else {
+			if len(payload) > MaxDataLen {
+				payload = payload[:MaxDataLen]
+			}
+			f.Data = payload
+		}
+		if err := f.Validate(); err != nil {
+			return false
+		}
+		b, err := f.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var g Frame
+		if err := g.UnmarshalBinary(b); err != nil {
+			return false
+		}
+		return f.Equal(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := MustDataFrame(0x123, []byte{0xAB})
+	if got := f.String(); got != "123#D[1]AB" {
+		t.Errorf("String() = %q", got)
+	}
+	r := Frame{ID: 0x10, RTR: true, DLC: 2}
+	if got := r.String(); got != "010#R[2]" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,386 @@
+package canbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Handler is the processor-side callback a node application registers to
+// consume frames that survived the inbound filter chain (Fig. 3: the
+// micro-controller / DSP behind the CAN controller).
+type Handler func(f Frame)
+
+// Controller models the CAN controller of Fig. 3: it parses received frames
+// and applies the firmware-programmed acceptance filters. If no filters are
+// configured the controller accepts every frame, as most controllers do by
+// default.
+type Controller struct {
+	mu          sync.Mutex
+	filters     []AcceptanceFilter
+	compromised bool
+	handler     Handler
+	mailbox     []Frame
+	mailboxCap  int
+	overruns    uint64
+}
+
+// NewController returns a controller with an unbounded mailbox and no filters.
+func NewController() *Controller {
+	return &Controller{}
+}
+
+// SetFilters replaces the acceptance filter bank. The slice is copied.
+func (c *Controller) SetFilters(filters ...AcceptanceFilter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.filters = append([]AcceptanceFilter(nil), filters...)
+}
+
+// Filters returns a copy of the current filter bank.
+func (c *Controller) Filters() []AcceptanceFilter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]AcceptanceFilter(nil), c.filters...)
+}
+
+// SetHandler registers the processor callback invoked for accepted frames.
+// When a handler is set the mailbox is not used.
+func (c *Controller) SetHandler(h Handler) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handler = h
+}
+
+// SetMailboxCap bounds the receive mailbox; zero means unbounded. When the
+// mailbox is full the oldest frame is dropped and the overrun counter
+// incremented, mirroring receive-buffer overruns on real controllers.
+func (c *Controller) SetMailboxCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mailboxCap = n
+}
+
+// CompromiseFilters models the firmware-modification attack of §V-B.2: a
+// compromised controller stops honouring its acceptance filters. The paper's
+// argument for a *hardware* policy engine is that it keeps filtering even in
+// this state.
+func (c *Controller) CompromiseFilters() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.compromised = true
+}
+
+// Compromised reports whether the firmware-modification attack has been applied.
+func (c *Controller) Compromised() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compromised
+}
+
+// Restore undoes CompromiseFilters (e.g. after a firmware re-flash).
+func (c *Controller) Restore() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.compromised = false
+}
+
+// Overruns returns the number of frames lost to mailbox overruns.
+func (c *Controller) Overruns() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.overruns
+}
+
+// accepts applies the acceptance filter bank (unless compromised).
+func (c *Controller) accepts(f Frame) bool {
+	if c.compromised {
+		return true
+	}
+	if len(c.filters) == 0 {
+		return true
+	}
+	for _, flt := range c.filters {
+		if flt.Matches(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// receive runs the controller-side receive path. It reports whether the
+// frame was accepted past the filter bank.
+func (c *Controller) receive(f Frame) bool {
+	c.mu.Lock()
+	if !c.accepts(f) {
+		c.mu.Unlock()
+		return false
+	}
+	h := c.handler
+	if h == nil {
+		if c.mailboxCap > 0 && len(c.mailbox) >= c.mailboxCap {
+			copy(c.mailbox, c.mailbox[1:])
+			c.mailbox = c.mailbox[:len(c.mailbox)-1]
+			c.overruns++
+		}
+		c.mailbox = append(c.mailbox, f.Clone())
+		c.mu.Unlock()
+		return true
+	}
+	c.mu.Unlock()
+	h(f)
+	return true
+}
+
+// Drain returns and clears the mailbox contents.
+func (c *Controller) Drain() []Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.mailbox
+	c.mailbox = nil
+	return out
+}
+
+// NodeStats counts per-node traffic and enforcement outcomes.
+type NodeStats struct {
+	// TxRequested counts frames handed to Send.
+	TxRequested uint64
+	// TxBlocked counts frames blocked by the inline (write) filter.
+	TxBlocked uint64
+	// TxCompleted counts frames successfully put on the bus.
+	TxCompleted uint64
+	// TxDroppedBusOff counts frames discarded because the node was bus-off.
+	TxDroppedBusOff uint64
+	// ArbitrationLosses counts lost arbitration rounds (frame retried later).
+	ArbitrationLosses uint64
+	// Retransmissions counts error-triggered retransmissions.
+	Retransmissions uint64
+	// RxSeen counts frames observed on the inbound path.
+	RxSeen uint64
+	// RxBlocked counts frames blocked by the inline (read) filter.
+	RxBlocked uint64
+	// RxFiltered counts frames rejected by the controller acceptance filters.
+	RxFiltered uint64
+	// RxAccepted counts frames delivered to the processor.
+	RxAccepted uint64
+}
+
+// Node is one station on the bus (Fig. 3): transceiver + controller +
+// processor, with the InlineFilter seam of Fig. 4 between controller and
+// transceiver in both directions.
+type Node struct {
+	name string
+	bus  *Bus
+
+	mu         sync.Mutex
+	ctrl       *Controller
+	inline     InlineFilter
+	counters   ErrorCounters
+	txq        []Frame
+	stats      NodeStats
+	detached   bool
+	responders map[uint32]func() []byte
+}
+
+// Node errors.
+var (
+	ErrBusOff    = errors.New("canbus: node is bus-off")
+	ErrDetached  = errors.New("canbus: node is detached from the bus")
+	ErrNoBus     = errors.New("canbus: node is not attached to a bus")
+	ErrDuplicate = errors.New("canbus: node name already attached")
+)
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Controller returns the node's CAN controller.
+func (n *Node) Controller() *Controller { return n.ctrl }
+
+// SetInlineFilter installs the Fig. 4 policy engine (or any InlineFilter) on
+// this node. Passing nil restores the permissive default.
+func (n *Node) SetInlineFilter(f InlineFilter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f == nil {
+		f = PermissiveFilter{}
+	}
+	n.inline = f
+}
+
+// InlineFilter returns the currently installed inline filter.
+func (n *Node) InlineFilter() InlineFilter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inline
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ErrorState returns the node's current error confinement state.
+func (n *Node) ErrorState() ErrorState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counters.State()
+}
+
+// ResetErrors models a power-on reset, clearing error counters so a bus-off
+// node can rejoin.
+func (n *Node) ResetErrors() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.counters.Reset()
+}
+
+// Send queues a frame for transmission. The outbound inline filter (the
+// HPE's writing filter) is consulted first: blocked frames never reach the
+// transmit queue, exactly as in Fig. 4 where the decision block sits before
+// the transceiver.
+func (n *Node) Send(f Frame) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.detached {
+		n.mu.Unlock()
+		return ErrDetached
+	}
+	if n.bus == nil {
+		n.mu.Unlock()
+		return ErrNoBus
+	}
+	n.stats.TxRequested++
+	if n.counters.State() == BusOff {
+		n.stats.TxDroppedBusOff++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrBusOff, n.name)
+	}
+	if v := n.inline.Decide(Write, f); v != Grant {
+		n.stats.TxBlocked++
+		bus := n.bus
+		n.mu.Unlock()
+		bus.noteWriteBlocked(n, f)
+		return nil
+	}
+	n.txq = append(n.txq, f.Clone())
+	bus := n.bus
+	n.mu.Unlock()
+	bus.kick()
+	return nil
+}
+
+// pendingHead returns the head of the transmit queue, if any, and whether
+// the node can currently contend for the bus.
+func (n *Node) pendingHead() (Frame, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.detached || len(n.txq) == 0 || n.counters.State() == BusOff {
+		return Frame{}, false
+	}
+	return n.txq[0], true
+}
+
+// SetRemoteResponder registers an automatic reply for remote transmission
+// requests of the given identifier, modelling the auto-reply message
+// buffers of production CAN controllers: when an accepted RTR frame for id
+// arrives, the node transmits a data frame with fn's payload. Passing a nil
+// fn removes the responder.
+func (n *Node) SetRemoteResponder(id uint32, fn func() []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if fn == nil {
+		delete(n.responders, id)
+		return
+	}
+	if n.responders == nil {
+		n.responders = map[uint32]func() []byte{}
+	}
+	n.responders[id] = fn
+}
+
+// deliver runs the inbound path: inline read filter, then controller
+// acceptance filters, then handler/mailbox, then remote auto-response.
+func (n *Node) deliver(f Frame) {
+	n.mu.Lock()
+	if n.detached {
+		n.mu.Unlock()
+		return
+	}
+	n.stats.RxSeen++
+	if v := n.inline.Decide(Read, f); v != Grant {
+		n.stats.RxBlocked++
+		bus := n.bus
+		n.mu.Unlock()
+		if bus != nil {
+			bus.noteReadBlocked(n, f)
+		}
+		return
+	}
+	ctrl := n.ctrl
+	var responder func() []byte
+	if f.RTR {
+		responder = n.responders[f.ID]
+	}
+	n.mu.Unlock()
+	if ctrl.receive(f) {
+		n.mu.Lock()
+		n.stats.RxAccepted++
+		n.counters.OnRxSuccess()
+		n.mu.Unlock()
+		if responder != nil {
+			reply, err := NewDataFrame(f.ID, responder())
+			if err == nil {
+				// The reply passes the node's own outbound path, so an
+				// inline filter still arbitrates it.
+				_ = n.Send(reply)
+			}
+		}
+	} else {
+		n.mu.Lock()
+		n.stats.RxFiltered++
+		n.mu.Unlock()
+	}
+}
+
+// popHead removes the head of the transmit queue after successful transmission.
+func (n *Node) popHead() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.txq) > 0 {
+		n.txq = n.txq[1:]
+	}
+	n.stats.TxCompleted++
+	n.counters.OnTxSuccess()
+}
+
+// txError records a transmission error; the frame stays queued for retry
+// unless the node went bus-off.
+func (n *Node) txError() ErrorState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.counters.OnTxError()
+	if st == BusOff {
+		n.txq = nil
+	} else {
+		n.stats.Retransmissions++
+	}
+	return st
+}
+
+// noteArbitrationLoss counts a lost arbitration round.
+func (n *Node) noteArbitrationLoss() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.ArbitrationLosses++
+}
+
+// QueueLen returns the number of frames waiting to transmit.
+func (n *Node) QueueLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.txq)
+}

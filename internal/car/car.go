@@ -1,0 +1,344 @@
+package car
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/canbus"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Command opcodes carried in the first payload byte of command messages.
+const (
+	// OpDisable disables the addressed subsystem (propulsion, EPS, engine,
+	// modem) or unlocks/disarms depending on the message.
+	OpDisable byte = 0x01
+	// OpEnable (re-)enables the addressed subsystem.
+	OpEnable byte = 0x02
+	// OpLock locks the doors / arms the alarm.
+	OpLock byte = 0x01
+	// OpUnlock unlocks the doors / disarms the alarm.
+	OpUnlock byte = 0x02
+)
+
+// State is the observable vehicle state the attack harness measures. All
+// fields reflect what the component processors believe, i.e. the effect of
+// every frame that survived filtering.
+type State struct {
+	// Propulsion reports whether the EV-ECU propulsion mechanism is enabled.
+	Propulsion bool
+	// EPSActive reports whether power steering assistance is active.
+	EPSActive bool
+	// EngineRunning reports whether the engine is running.
+	EngineRunning bool
+	// ModemEnabled reports whether the telematics modem is operational.
+	ModemEnabled bool
+	// TrackingActive reports whether anti-theft tracking reports flow.
+	TrackingActive bool
+	// DoorsLocked reports the central locking state.
+	DoorsLocked bool
+	// AlarmArmed reports the alarm state.
+	AlarmArmed bool
+	// FailSafeTriggered reports whether a fail-safe event was processed.
+	FailSafeTriggered bool
+	// ActualSpeed is the ground-truth speed from the sensor cluster.
+	ActualSpeed uint16
+	// DisplayedSpeed is the speed the infotainment display shows.
+	DisplayedSpeed uint16
+	// FirmwareModified reports whether any ECU accepted a firmware-update
+	// frame (the CONN-1 / INFO-1 modification channel).
+	FirmwareModified bool
+	// ExfilReports counts forged tracking reports that reached the
+	// diagnostic backend (the CONN-2 privacy attack's exfiltration path).
+	ExfilReports int
+}
+
+// Car wires the Fig. 2 topology onto a simulated bus and gives every node
+// the behaviour needed to make Table I's attacks observable. It implements
+// hpe.ModeSource so deployed policy engines follow mode switches.
+type Car struct {
+	sched *sim.Scheduler
+	bus   *canbus.Bus
+
+	mu    sync.Mutex
+	mode  policy.Mode
+	state State
+}
+
+// Config parameterises a Car.
+type Config struct {
+	// BitRate for the bus; canbus.DefaultBitRate if zero.
+	BitRate int
+	// ErrorRate for bus error injection; zero disables.
+	ErrorRate float64
+	// Seed for deterministic error injection.
+	Seed uint64
+}
+
+// New builds the car: scheduler, bus, all Fig. 2 nodes with their
+// acceptance filters (per the message catalog) and processor behaviours.
+// The car starts in Normal mode: propulsion enabled, engine running, doors
+// unlocked, alarm disarmed, modem on, tracking active.
+func New(cfg Config) (*Car, error) {
+	sched := &sim.Scheduler{}
+	bus := canbus.New(sched, canbus.Config{
+		BitRate:   cfg.BitRate,
+		ErrorRate: cfg.ErrorRate,
+		Seed:      cfg.Seed,
+	})
+	c := &Car{
+		sched: sched,
+		bus:   bus,
+		mode:  ModeNormal,
+		state: State{
+			Propulsion:     true,
+			EPSActive:      true,
+			EngineRunning:  true,
+			ModemEnabled:   true,
+			TrackingActive: true,
+		},
+	}
+	for _, name := range AllNodes {
+		node, err := bus.Attach(name)
+		if err != nil {
+			return nil, err
+		}
+		c.configureNode(node)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error; topology construction only fails on
+// programming errors.
+func MustNew(cfg Config) *Car {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Scheduler returns the simulation scheduler.
+func (c *Car) Scheduler() *sim.Scheduler { return c.sched }
+
+// Bus returns the underlying CAN bus.
+func (c *Car) Bus() *canbus.Bus { return c.bus }
+
+// Node returns the named station.
+func (c *Car) Node(name string) (*canbus.Node, bool) { return c.bus.Node(name) }
+
+// Mode implements hpe.ModeSource.
+func (c *Car) Mode() policy.Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
+
+// SetMode switches the car's operating mode (Normal / RemoteDiag / FailSafe).
+func (c *Car) SetMode(m policy.Mode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mode = m
+}
+
+// State returns a snapshot of the vehicle state.
+func (c *Car) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// mutate applies fn to the state under the lock.
+func (c *Car) mutate(fn func(*State)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(&c.state)
+}
+
+// configureNode installs the acceptance filters (from the catalog's reader
+// lists) and the processor behaviour for one station.
+func (c *Car) configureNode(node *canbus.Node) {
+	name := node.Name()
+	var filters []canbus.AcceptanceFilter
+	for _, m := range Catalog {
+		for _, r := range m.Readers {
+			if r == name {
+				filters = append(filters, canbus.ExactFilter(m.ID))
+			}
+		}
+	}
+	ctrl := node.Controller()
+	ctrl.SetFilters(filters...)
+	ctrl.SetHandler(c.handlerFor(name))
+}
+
+// handlerFor returns the processor behaviour of a station: how it reacts to
+// each accepted frame. These reactions are what make Table I's attacks
+// observable in State.
+func (c *Car) handlerFor(name string) canbus.Handler {
+	switch name {
+	case NodeEVECU:
+		return func(f canbus.Frame) {
+			switch f.ID {
+			case IDECUCommand:
+				if len(f.Data) > 0 {
+					c.mutate(func(s *State) { s.Propulsion = f.Data[0] != OpDisable })
+				}
+			case IDObstacle:
+				if len(f.Data) > 0 && f.Data[0] == 0x01 {
+					// Emergency stop on an imminent-obstacle report.
+					c.mutate(func(s *State) { s.Propulsion = false })
+				}
+			case IDSensorSpeed:
+				if len(f.Data) >= 2 {
+					c.mutate(func(s *State) { s.ActualSpeed = binary.BigEndian.Uint16(f.Data) })
+				}
+			case IDFailSafeTrigger:
+				c.mutate(func(s *State) {
+					s.FailSafeTriggered = true
+					s.Propulsion = false // crash response: cut propulsion
+				})
+			case IDFirmwareUpdate:
+				c.mutate(func(s *State) { s.FirmwareModified = true })
+			}
+		}
+	case NodeEPS:
+		return func(f canbus.Frame) {
+			if f.ID == IDEPSCommand && len(f.Data) > 0 {
+				c.mutate(func(s *State) { s.EPSActive = f.Data[0] != OpDisable })
+			}
+		}
+	case NodeEngine:
+		return func(f canbus.Frame) {
+			if f.ID == IDEngineCommand && len(f.Data) > 0 {
+				c.mutate(func(s *State) { s.EngineRunning = f.Data[0] != OpDisable })
+			}
+		}
+	case NodeTelematics:
+		return func(f canbus.Frame) {
+			switch f.ID {
+			case IDModemControl:
+				if len(f.Data) > 0 {
+					c.mutate(func(s *State) {
+						s.ModemEnabled = f.Data[0] != OpDisable
+						if !s.ModemEnabled {
+							s.TrackingActive = false
+						}
+					})
+				}
+			case IDFirmwareUpdate:
+				c.mutate(func(s *State) { s.FirmwareModified = true })
+			}
+		}
+	case NodeInfotainment:
+		return func(f canbus.Frame) {
+			if f.ID == IDVehicleStatus && len(f.Data) >= 2 {
+				c.mutate(func(s *State) { s.DisplayedSpeed = binary.BigEndian.Uint16(f.Data) })
+			}
+		}
+	case NodeDoorLocks:
+		return func(f canbus.Frame) {
+			if f.ID == IDDoorCommand && len(f.Data) > 0 {
+				switch f.Data[0] {
+				case OpLock:
+					c.mutate(func(s *State) { s.DoorsLocked = true })
+				case OpUnlock:
+					c.mutate(func(s *State) { s.DoorsLocked = false })
+				}
+			}
+			if f.ID == IDFailSafeTrigger {
+				// Crash response: unlock for rescue access.
+				c.mutate(func(s *State) { s.DoorsLocked = false })
+			}
+		}
+	case NodeSafety:
+		return func(f canbus.Frame) {
+			if f.ID == IDAlarmControl && len(f.Data) > 0 {
+				switch f.Data[0] {
+				case OpLock:
+					c.mutate(func(s *State) { s.AlarmArmed = true })
+				case OpUnlock:
+					c.mutate(func(s *State) { s.AlarmArmed = false })
+				}
+			}
+		}
+	case NodeDiagnostics:
+		return func(f canbus.Frame) {
+			// Forged tracking reports carry the exfiltration marker 0xEE;
+			// counting them measures the CONN-2 privacy attack.
+			if f.ID == IDTrackingReport && len(f.Data) > 0 && f.Data[0] == exfilMarker {
+				c.mutate(func(s *State) { s.ExfilReports++ })
+			}
+		}
+	default:
+		return func(canbus.Frame) {}
+	}
+}
+
+// send transmits a frame from a named station.
+func (c *Car) send(from string, id uint32, data ...byte) error {
+	node, ok := c.bus.Node(from)
+	if !ok {
+		return fmt.Errorf("car: unknown node %q", from)
+	}
+	f, err := canbus.NewDataFrame(id, data)
+	if err != nil {
+		return err
+	}
+	return node.Send(f)
+}
+
+// StartTraffic schedules the periodic legitimate traffic of the car over
+// the given horizon (relative to the current virtual time): sensor
+// broadcasts, the EV-ECU vehicle-status message and telematics tracking
+// reports. speed is the simulated vehicle speed.
+func (c *Car) StartTraffic(period, horizon time.Duration, speed uint16) {
+	var speedBuf [2]byte
+	binary.BigEndian.PutUint16(speedBuf[:], speed)
+	for at := period; at <= horizon; at += period {
+		c.sched.After(at, func(time.Duration) {
+			// Sensors broadcast speed and dynamics.
+			_ = c.send(NodeSensors, IDSensorSpeed, speedBuf[0], speedBuf[1])
+			_ = c.send(NodeSensors, IDSensorDynamics, 0x10, 0x20, 0x30)
+			// EV-ECU publishes the vehicle status consumed by infotainment.
+			_ = c.send(NodeEVECU, IDVehicleStatus, speedBuf[0], speedBuf[1], 0x00)
+			// Telematics uploads a tracking report while the modem is up.
+			if c.State().ModemEnabled {
+				_ = c.send(NodeTelematics, IDTrackingReport, 0x01)
+			}
+		})
+	}
+}
+
+// Legitimate control actions, used by tests and scenarios to confirm the
+// policy model does not break required functionality (no false positives).
+
+// LockDoors issues a remote lock via telematics.
+func (c *Car) LockDoors() error { return c.send(NodeTelematics, IDDoorCommand, OpLock) }
+
+// UnlockDoors issues a remote unlock via telematics.
+func (c *Car) UnlockDoors() error { return c.send(NodeTelematics, IDDoorCommand, OpUnlock) }
+
+// ArmAlarm arms the alarm from the door-lock module.
+func (c *Car) ArmAlarm() error { return c.send(NodeDoorLocks, IDAlarmControl, OpLock) }
+
+// TriggerCrash raises the fail-safe trigger from the safety module, as a
+// genuine crash would.
+func (c *Car) TriggerCrash() error { return c.send(NodeSafety, IDFailSafeTrigger, 0x01) }
+
+// exfilMarker tags forged tracking reports used by the privacy attack.
+const exfilMarker byte = 0xEE
+
+// ObstacleStop sends the sensors' imminent-obstacle report, which makes the
+// EV-ECU cut propulsion — one of the legitimate disablement circumstances
+// of §V-A (approaching a stationary object when parking).
+func (c *Car) ObstacleStop() error { return c.send(NodeSensors, IDObstacle, 0x01) }
+
+// RestorePropulsion re-enables propulsion from the safety module.
+func (c *Car) RestorePropulsion() error { return c.send(NodeSafety, IDECUCommand, OpEnable) }
+
+// Run drains the simulation until the given virtual deadline.
+func (c *Car) Run(until time.Duration) { c.sched.RunUntil(until) }

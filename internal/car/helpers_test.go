@@ -1,0 +1,8 @@
+package car
+
+import "repro/internal/canbus"
+
+// frameForTest builds a standard data frame for in-package tests.
+func frameForTest(id uint32, data ...byte) (canbus.Frame, error) {
+	return canbus.NewDataFrame(id, data)
+}

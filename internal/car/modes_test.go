@@ -1,0 +1,117 @@
+package car
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// stubAuth authorises exactly one token value.
+type stubAuth struct{ want string }
+
+func (s stubAuth) Authorize(token []byte) bool { return string(token) == s.want }
+
+func TestModeMatrixFreeTransitions(t *testing.T) {
+	c := MustNew(Config{})
+	m := NewModeManager(c, stubAuth{want: "ok"})
+
+	// Normal -> FailSafe is free (emergency).
+	if err := m.Request(ModeFailSafe, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode() != ModeFailSafe {
+		t.Fatal("mode not switched")
+	}
+	// Same-mode request is a no-op grant.
+	if err := m.Request(ModeFailSafe, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeReservedTransitionsRequireAuth(t *testing.T) {
+	c := MustNew(Config{})
+	m := NewModeManager(c, stubAuth{want: "valid-token"})
+
+	// Normal -> RemoteDiag without a token: denied.
+	err := m.Request(ModeRemoteDiag, nil)
+	if !errors.Is(err, ErrModeUnauthorized) {
+		t.Fatalf("unauthenticated diag entry: %v", err)
+	}
+	if c.Mode() != ModeNormal {
+		t.Fatal("mode changed despite denial")
+	}
+	// Wrong token: denied.
+	if err := m.Request(ModeRemoteDiag, []byte("forged")); !errors.Is(err, ErrModeUnauthorized) {
+		t.Fatalf("forged token accepted: %v", err)
+	}
+	// Valid token: granted.
+	if err := m.Request(ModeRemoteDiag, []byte("valid-token")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode() != ModeRemoteDiag {
+		t.Fatal("mode not switched")
+	}
+	// RemoteDiag -> Normal is free.
+	if err := m.Request(ModeNormal, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeFailSafeExitRequiresAuth(t *testing.T) {
+	c := MustNew(Config{})
+	m := NewModeManager(c, stubAuth{want: "svc"})
+	if err := m.Request(ModeFailSafe, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Leaving fail-safe without service credentials is exactly the Table I
+	// row 4 attack ("fail-safe protection override to reactivate vehicle").
+	if err := m.Request(ModeNormal, nil); !errors.Is(err, ErrModeUnauthorized) {
+		t.Fatalf("fail-safe exit without credential: %v", err)
+	}
+	if err := m.Request(ModeNormal, []byte("svc")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeNilAuthorizerFailsClosed(t *testing.T) {
+	c := MustNew(Config{})
+	m := NewModeManager(c, nil)
+	if err := m.Request(ModeRemoteDiag, []byte("anything")); !errors.Is(err, ErrModeUnauthorized) {
+		t.Fatalf("nil authorizer did not fail closed: %v", err)
+	}
+}
+
+func TestModeUnknownRejected(t *testing.T) {
+	c := MustNew(Config{})
+	m := NewModeManager(c, nil)
+	if err := m.Request(policy.Mode("Turbo"), nil); !errors.Is(err, ErrModeUnknown) {
+		t.Fatalf("unknown mode: %v", err)
+	}
+}
+
+func TestModeTransitionLog(t *testing.T) {
+	c := MustNew(Config{})
+	m := NewModeManager(c, stubAuth{want: "tok"})
+	_ = m.Request(ModeRemoteDiag, nil)           // denied
+	_ = m.Request(ModeRemoteDiag, []byte("tok")) // granted
+	_ = m.Request(ModeNormal, nil)               // granted (free)
+	log := m.Log()
+	if len(log) != 3 {
+		t.Fatalf("log entries = %d", len(log))
+	}
+	if log[0].Granted || log[0].Authorized {
+		t.Errorf("entry 0 = %+v", log[0])
+	}
+	if !log[1].Granted || !log[1].Authorized {
+		t.Errorf("entry 1 = %+v", log[1])
+	}
+	if log[2].From != ModeRemoteDiag || log[2].To != ModeNormal || !log[2].Granted {
+		t.Errorf("entry 2 = %+v", log[2])
+	}
+	// Log is a copy.
+	log[0].Granted = true
+	if m.Log()[0].Granted {
+		t.Error("Log exposes internal slice")
+	}
+}

@@ -1,0 +1,313 @@
+package car
+
+import (
+	"repro/internal/dread"
+	"repro/internal/policy"
+	"repro/internal/stride"
+	"repro/internal/threatmodel"
+)
+
+// Threat identifiers, in Table I row order.
+const (
+	ThreatECUSpoofLocks    = "EVECU-1" // spoofed data via door locks / safety critical
+	ThreatECUSpoofSensors  = "EVECU-2" // spoofed data via sensors
+	ThreatECUTrackingOff   = "EVECU-3" // disabled remote tracking after theft
+	ThreatECUFailsafeOvrd  = "EVECU-4" // fail-safe protection override to reactivate vehicle
+	ThreatEPSDeactivate    = "EPS-1"   // EPS deactivation through compromised CAN node
+	ThreatEngineDeactivate = "ENG-1"   // deactivation through compromised sensor
+	ThreatConnCritModify   = "CONN-1"  // critical component modification during operation
+	ThreatConnPrivacy      = "CONN-2"  // privacy attack using modified radio firmware
+	ThreatConnModemOffEmg  = "CONN-3"  // prevent fail-safe comms by disabling modem (emergency/doors)
+	ThreatConnModemOffSens = "CONN-4"  // prevent fail-safe comms by disabling modem (sensors/airbags)
+	ThreatInfoEscalate     = "INFO-1"  // browser exploit to gain higher control level
+	ThreatInfoStatusMod    = "INFO-2"  // modification of car status values (GPS, speed)
+	ThreatDoorUnlockMotion = "DOOR-1"  // unlock attempt while in motion
+	ThreatDoorLockAccident = "DOOR-2"  // lock mechanism triggered during accident
+	ThreatSafetyFalseTrig  = "SAFE-1"  // false triggering of fail-safe mode to unlock vehicle
+	ThreatSafetyAlarmOff   = "SAFE-2"  // disable alarm and locking system to allow theft
+)
+
+// Threats returns the sixteen Table I threat scenarios in row order. The
+// STRIDE string, DREAD tuple and policy letter of every row are *computed*
+// from these qualitative facts by threatmodel.Analyze; the expected paper
+// values are asserted by the test suite and recorded in EXPERIMENTS.md.
+func Threats() []threatmodel.Threat {
+	return []threatmodel.Threat{
+		{
+			ID:          ThreatECUSpoofLocks,
+			Description: "Spoofed data over CANbus causing disablement of ECU",
+			Asset:       AssetEVECU,
+			EntryPoints: []string{EntryDoorLocksSafety},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ForgesIdentity: true, ModifiesData: true, DisruptsService: true}, // STD
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageSafety,      // 8: propulsion unresponsive while driven
+				Reproducibility: dread.ReproReliable,     // 5: works with bus access
+				Exploitability:  dread.ExploitSpecialist, // 4: needs ECU / CAN layout knowledge
+				AffectedUsers:   dread.AffectedOwner,     // 6
+				Discoverability: dread.DiscoverObscure,   // 4: needs vehicle internals knowledge
+			},
+			Vector: threatmodel.VectorInbound, // R: permit only reads at the ECU
+		},
+		{
+			ID:          ThreatECUSpoofSensors,
+			Description: "Spoofed data over CANbus causing disablement of ECU",
+			Asset:       AssetEVECU,
+			EntryPoints: []string{EntrySensors},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ForgesIdentity: true, ModifiesData: true, DisruptsService: true}, // STD
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageSafety,
+				Reproducibility: dread.ReproReliable,
+				Exploitability:  dread.ExploitSpecialist,
+				AffectedUsers:   dread.AffectedOwner,
+				Discoverability: dread.DiscoverObscure,
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatECUTrackingOff,
+			Description: "Disabled remote tracking system after theft",
+			Asset:       AssetEVECU,
+			EntryPoints: []string{EntryConnectivity},
+			Modes:       []policy.Mode{ModeNormal, ModeFailSafe},
+			Effects:     stride.Effects{ForgesIdentity: true, DisruptsService: true}, // SD
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageServiceLoss, // 6: anti-theft service lost
+				Reproducibility: dread.ReproHard,         // 3: needs the theft precondition
+				Exploitability:  dread.ExploitExpert,     // 3
+				AffectedUsers:   dread.AffectedOwner,     // 6
+				Discoverability: dread.DiscoverObscure,   // 4
+			},
+			Vector: threatmodel.VectorBidirectional, // RW
+		},
+		{
+			ID:          ThreatECUFailsafeOvrd,
+			Description: "Fail-safe protection override to reactivate vehicle",
+			Asset:       AssetEVECU,
+			EntryPoints: []string{EntryConnectivity},
+			Modes:       []policy.Mode{ModeFailSafe},
+			Effects:     stride.Effects{ForgesIdentity: true, ModifiesData: true, EscalatesPrivilege: true}, // STE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageDegraded,    // 5
+				Reproducibility: dread.ReproReliable,     // 5
+				Exploitability:  dread.ExploitSkilled,    // 5
+				AffectedUsers:   dread.AffectedOccupants, // 7
+				Discoverability: dread.DiscoverKnown,     // 6
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatEPSDeactivate,
+			Description: "EPS deactivation through compromised CAN node.",
+			Asset:       AssetEPS,
+			EntryPoints: []string{EntryAnyNode},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ForgesIdentity: true, ModifiesData: true, DisruptsService: true}, // STD
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageDegraded,  // 5: steering assist lost, car drivable
+				Reproducibility: dread.ReproReliable,   // 5
+				Exploitability:  dread.ExploitSkilled,  // 5
+				AffectedUsers:   dread.AffectedOwner,   // 6
+				Discoverability: dread.DiscoverObvious, // 7: any node can reach the EPS
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatEngineDeactivate,
+			Description: "Deactivation through compromised sensor",
+			Asset:       AssetEngine,
+			EntryPoints: []string{EntrySensors},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ForgesIdentity: true, ModifiesData: true, DisruptsService: true}, // STD
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageSubsystem,   // 6
+				Reproducibility: dread.ReproReliable,     // 5
+				Exploitability:  dread.ExploitSpecialist, // 4
+				AffectedUsers:   dread.AffectedOccupants, // 7
+				Discoverability: dread.DiscoverResearch,  // 5
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatConnCritModify,
+			Description: "Critical component modification during operation",
+			Asset:       AssetConnectivity,
+			EntryPoints: []string{EntryEVECUSensors},
+			Modes:       []policy.Mode{ModeNormal, ModeRemoteDiag},
+			Effects: stride.Effects{ // STIDE
+				ForgesIdentity: true, ModifiesData: true, DisclosesInfo: true,
+				DisruptsService: true, EscalatesPrivilege: true,
+			},
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageControl,   // 7
+				Reproducibility: dread.ReproReliable,   // 5
+				Exploitability:  dread.ExploitSkilled,  // 5
+				AffectedUsers:   dread.AffectedFleet,   // 9: platform-wide modification channel
+				Discoverability: dread.DiscoverObscure, // 4
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatConnPrivacy,
+			Description: "Privacy attack using modified radio firmware",
+			Asset:       AssetConnectivity,
+			EntryPoints: []string{EntryInfotainment},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ModifiesData: true, DisclosesInfo: true, EscalatesPrivilege: true}, // TIE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageControl,    // 7
+				Reproducibility: dread.ReproReliable,    // 5
+				Exploitability:  dread.ExploitSkilled,   // 5
+				AffectedUsers:   dread.AffectedOwner,    // 6
+				Discoverability: dread.DiscoverResearch, // 5
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatConnModemOffEmg,
+			Description: "Prevent operation of fail-safe comms by disabling modem.",
+			Asset:       AssetConnectivity,
+			EntryPoints: []string{EntryEmergencyDoors},
+			Modes:       []policy.Mode{ModeNormal, ModeFailSafe},
+			Effects:     stride.Effects{ModifiesData: true, DisruptsService: true, EscalatesPrivilege: true}, // TDE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageServiceLoss,  // 6: emergency call capability lost
+				Reproducibility: dread.ReproAlways,        // 6
+				Exploitability:  dread.ExploitEasy,        // 7
+				AffectedUsers:   dread.AffectedBystanders, // 8
+				Discoverability: dread.DiscoverKnown,      // 6
+			},
+			Vector: threatmodel.VectorBidirectional, // RW
+		},
+		{
+			ID:          ThreatConnModemOffSens,
+			Description: "Prevent operation of fail-safe comms by disabling modem.",
+			Asset:       AssetConnectivity,
+			EntryPoints: []string{EntrySensorsAirbags},
+			Modes:       []policy.Mode{ModeNormal, ModeFailSafe},
+			Effects:     stride.Effects{ModifiesData: true, DisruptsService: true, EscalatesPrivilege: true}, // TDE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageServiceLoss,
+				Reproducibility: dread.ReproAlways,
+				Exploitability:  dread.ExploitEasy,
+				AffectedUsers:   dread.AffectedBystanders,
+				Discoverability: dread.DiscoverKnown,
+			},
+			Vector: threatmodel.VectorInbound, // R
+		},
+		{
+			ID:          ThreatInfoEscalate,
+			Description: "Exploit to gain access to higher control level",
+			Asset:       AssetInfotainment,
+			EntryPoints: []string{EntryMediaBrowser},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ForgesIdentity: true, ModifiesData: true, EscalatesPrivilege: true}, // STE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageControl,      // 7
+				Reproducibility: dread.ReproReliable,      // 5
+				Exploitability:  dread.ExploitToolkit,     // 6: browser exploit kits exist
+				AffectedUsers:   dread.AffectedBystanders, // 8
+				Discoverability: dread.DiscoverKnown,      // 6
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatInfoStatusMod,
+			Description: "Modification of car status values, GPS, speed, etc",
+			Asset:       AssetInfotainment,
+			EntryPoints: []string{EntrySensorsEVECU},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ForgesIdentity: true, ModifiesData: true, DeniesAction: true}, // STR
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageCosmetic,   // 3: display falsification
+				Reproducibility: dread.ReproReliable,    // 5
+				Exploitability:  dread.ExploitToolkit,   // 6
+				AffectedUsers:   dread.AffectedFew,      // 4
+				Discoverability: dread.DiscoverResearch, // 5
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatDoorUnlockMotion,
+			Description: "Unlock attempt while in motion",
+			Asset:       AssetDoorLocks,
+			EntryPoints: []string{EntryConnManual},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ModifiesData: true, DisruptsService: true, EscalatesPrivilege: true}, // TDE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageSafety,       // 8: doors open at speed
+				Reproducibility: dread.ReproReliable,      // 5
+				Exploitability:  dread.ExploitExpert,      // 3
+				AffectedUsers:   dread.AffectedBystanders, // 8
+				Discoverability: dread.DiscoverResearch,   // 5
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatDoorLockAccident,
+			Description: "Lock mechanism triggered during accident",
+			Asset:       AssetDoorLocks,
+			EntryPoints: []string{EntryConnSafety},
+			Modes:       []policy.Mode{ModeFailSafe},
+			Effects:     stride.Effects{ModifiesData: true, DisruptsService: true, EscalatesPrivilege: true}, // TDE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageSafety,       // 8: occupants sealed in after a crash
+				Reproducibility: dread.ReproAlways,        // 6
+				Exploitability:  dread.ExploitEasy,        // 7
+				AffectedUsers:   dread.AffectedBystanders, // 8
+				Discoverability: dread.DiscoverResearch,   // 5
+			},
+			Vector: threatmodel.VectorOutbound, // W: constrain what may command the locks
+		},
+		{
+			ID:          ThreatSafetyFalseTrig,
+			Description: "False triggering of fail-safe mode to unlock vehicle",
+			Asset:       AssetSafety,
+			EntryPoints: []string{EntrySensors},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ForgesIdentity: true, ModifiesData: true, EscalatesPrivilege: true}, // STE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageControl,      // 7
+				Reproducibility: dread.ReproSituational,   // 4
+				Exploitability:  dread.ExploitSkilled,     // 5
+				AffectedUsers:   dread.AffectedBystanders, // 8
+				Discoverability: dread.DiscoverObscure,    // 4
+			},
+			Vector: threatmodel.VectorInbound,
+		},
+		{
+			ID:          ThreatSafetyAlarmOff,
+			Description: "Disable alarm and locking system to allow theft",
+			Asset:       AssetSafety,
+			EntryPoints: []string{EntrySensors},
+			Modes:       []policy.Mode{ModeNormal},
+			Effects:     stride.Effects{ModifiesData: true, EscalatesPrivilege: true}, // TE
+			Assessment: dread.Assessment{
+				Damage:          dread.DamageLife,       // 9
+				Reproducibility: dread.ReproSituational, // 4
+				Exploitability:  dread.ExploitSkilled,   // 5
+				AffectedUsers:   dread.AffectedFleet,    // 9: a working theft method scales
+				Discoverability: dread.DiscoverObscure,  // 4
+			},
+			Vector: threatmodel.VectorOutbound, // W
+		},
+	}
+}
+
+// Analyze runs the threat-modelling pipeline over the connected-car use
+// case and its Table I threats.
+func Analyze() (*threatmodel.Analysis, error) {
+	return threatmodel.Analyze(UseCase(), Threats())
+}
+
+// TableRowOrder lists the threat IDs in the exact Table I row order, for
+// rendering the reproduced table.
+var TableRowOrder = []string{
+	ThreatECUSpoofLocks, ThreatECUSpoofSensors, ThreatECUTrackingOff, ThreatECUFailsafeOvrd,
+	ThreatEPSDeactivate, ThreatEngineDeactivate,
+	ThreatConnCritModify, ThreatConnPrivacy, ThreatConnModemOffEmg, ThreatConnModemOffSens,
+	ThreatInfoEscalate, ThreatInfoStatusMod,
+	ThreatDoorUnlockMotion, ThreatDoorLockAccident,
+	ThreatSafetyFalseTrig, ThreatSafetyAlarmOff,
+}

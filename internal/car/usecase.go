@@ -1,0 +1,118 @@
+package car
+
+import (
+	"repro/internal/policy"
+	"repro/internal/threatmodel"
+)
+
+// Asset names (Table I "Critical Assets" column).
+const (
+	AssetEVECU        = "EV-ECU"
+	AssetEPS          = "EPS"
+	AssetEngine       = "Engine"
+	AssetConnectivity = "3G/4G/WiFi"
+	AssetInfotainment = "Infotainment"
+	AssetDoorLocks    = "Door locks"
+	AssetSafety       = "Safety Critical"
+)
+
+// Entry point names (Table I "Entry Points" column).
+const (
+	EntryDoorLocksSafety = "Door locks, safety critical"
+	EntrySensors         = "Sensors"
+	EntryConnectivity    = "3G/4G/WiFi"
+	EntryAnyNode         = "Any node"
+	EntryEVECUSensors    = "EV-ECU, Sensors"
+	EntryInfotainment    = "Infotainment system"
+	EntryEmergencyDoors  = "Emergency, door locks"
+	EntrySensorsAirbags  = "Sensors, Air bags"
+	EntryMediaBrowser    = "Media player browser"
+	EntrySensorsEVECU    = "Sensors, EV-ECU"
+	EntryConnManual      = "3G/4G/WiFi, Manual open"
+	EntryConnSafety      = "3G/4G/WiFi, Safety critical"
+)
+
+// UseCase builds the connected-car use case: assets, entry points and the
+// legitimate communication matrix generated from the message catalog.
+func UseCase() threatmodel.UseCase {
+	uc := threatmodel.UseCase{
+		Name: "connected-car",
+		Description: "A connected car with interconnected systems of differing " +
+			"criticality: vehicle controls, sensor-based critical safety, " +
+			"infotainment, telematics and cellular network access, joined by a " +
+			"shared CAN bus (ISO 11898).",
+		Modes: AllModes,
+		Assets: []threatmodel.Asset{
+			{Name: AssetEVECU, Node: NodeEVECU, Critical: true,
+				Description: "Electronic vehicle ECU controlling propulsion (accel, brake, transmission)"},
+			{Name: AssetEPS, Node: NodeEPS, Critical: true,
+				Description: "Electronic power steering"},
+			{Name: AssetEngine, Node: NodeEngine, Critical: true,
+				Description: "Engine control"},
+			{Name: AssetConnectivity, Node: NodeTelematics, Critical: true,
+				Description: "Cellular and WiFi connectivity: telemetry, firmware update, emergency services, theft deactivation"},
+			{Name: AssetInfotainment, Node: NodeInfotainment, Critical: false,
+				Description: "Infotainment system: media, browser, navigation display"},
+			{Name: AssetDoorLocks, Node: NodeDoorLocks, Critical: true,
+				Description: "Central door locking"},
+			{Name: AssetSafety, Node: NodeSafety, Critical: true,
+				Description: "Safety-critical devices: air bags, alarm, fail-safe logic"},
+		},
+		EntryPoints: []threatmodel.EntryPoint{
+			{Name: EntryDoorLocksSafety, Exposes: []string{AssetEVECU},
+				Description: "Door lock and safety-critical messages consumed by the EV-ECU"},
+			{Name: EntrySensors, Exposes: []string{AssetEVECU, AssetEngine, AssetSafety},
+				Description: "Sensor broadcasts (accel, brake, transmission, obstacle)"},
+			{Name: EntryConnectivity, Exposes: []string{AssetEVECU, AssetConnectivity, AssetDoorLocks},
+				Description: "3G/4G/WiFi remote interfaces"},
+			{Name: EntryAnyNode, Exposes: []string{AssetEPS},
+				Description: "Any CAN node (broadcast bus reaches the EPS)"},
+			{Name: EntryEVECUSensors, Exposes: []string{AssetConnectivity},
+				Description: "EV-ECU and sensor traffic consumed by telematics"},
+			{Name: EntryInfotainment, Exposes: []string{AssetConnectivity},
+				Description: "Infotainment system sharing the radio/modem hardware"},
+			{Name: EntryEmergencyDoors, Exposes: []string{AssetConnectivity},
+				Description: "Emergency call and door lock signalling through the modem"},
+			{Name: EntrySensorsAirbags, Exposes: []string{AssetConnectivity},
+				Description: "Sensor and air bag signalling through the modem"},
+			{Name: EntryMediaBrowser, Exposes: []string{AssetInfotainment},
+				Description: "Media player browser on the infotainment display"},
+			{Name: EntrySensorsEVECU, Exposes: []string{AssetInfotainment},
+				Description: "Car status values (GPS, speed) shown by infotainment"},
+			{Name: EntryConnManual, Exposes: []string{AssetDoorLocks},
+				Description: "Remote (3G/4G/WiFi) and manual door opening paths"},
+			{Name: EntryConnSafety, Exposes: []string{AssetDoorLocks},
+				Description: "Remote and safety-critical door lock triggers"},
+		},
+		Comm: commMatrix(),
+	}
+	return uc
+}
+
+// commMatrix expands the message catalog into least-privilege communication
+// requirements: one write requirement per (message, writer) and one read
+// requirement per (message, reader).
+func commMatrix() []threatmodel.CommRequirement {
+	var out []threatmodel.CommRequirement
+	for _, m := range Catalog {
+		for _, w := range m.Writers {
+			out = append(out, threatmodel.CommRequirement{
+				Subject:   w,
+				Action:    policy.ActWrite,
+				IDs:       policy.SingleID(m.ID),
+				Modes:     m.Modes,
+				Rationale: m.Name + " tx " + w,
+			})
+		}
+		for _, r := range m.Readers {
+			out = append(out, threatmodel.CommRequirement{
+				Subject:   r,
+				Action:    policy.ActRead,
+				IDs:       policy.SingleID(m.ID),
+				Modes:     m.Modes,
+				Rationale: m.Name + " rx " + r,
+			})
+		}
+	}
+	return out
+}

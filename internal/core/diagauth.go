@@ -1,0 +1,79 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/car"
+)
+
+// This file backs car.ModeAuthorizer with the OEM's signing identity:
+// Remote Diagnostic mode is "reserved for maintenance by manufacturer or
+// authorised engineer" (§V), so entry requires a token the OEM signed for
+// this specific vehicle. Tokens are single-purpose and vehicle-bound; they
+// carry no expiry because the simulation has no wall clock, which a real
+// deployment would add.
+
+// diagClaim is the signed payload of a diagnostic token.
+type diagClaim struct {
+	VehicleID string `json:"vehicle_id"`
+	Purpose   string `json:"purpose"`
+}
+
+// diagPurpose is the fixed purpose string, preventing cross-protocol reuse
+// of signatures (e.g. a policy-bundle signature replayed as a token).
+const diagPurpose = "diagnostic-mode-entry"
+
+// diagToken is the distributable credential.
+type diagToken struct {
+	Claim     diagClaim `json:"claim"`
+	Signature []byte    `json:"signature"`
+}
+
+// IssueDiagToken signs a diagnostic-entry credential for one vehicle.
+func (o *OEM) IssueDiagToken(vehicleID string) ([]byte, error) {
+	claim := diagClaim{VehicleID: vehicleID, Purpose: diagPurpose}
+	payload, err := json.Marshal(claim)
+	if err != nil {
+		return nil, err
+	}
+	tok := diagToken{Claim: claim, Signature: ed25519.Sign(o.priv, payload)}
+	return json.Marshal(tok)
+}
+
+// DiagAuthorizer validates diagnostic tokens for one vehicle against the
+// OEM public key. It implements car.ModeAuthorizer.
+type DiagAuthorizer struct {
+	vehicleID string
+	pub       ed25519.PublicKey
+}
+
+var _ car.ModeAuthorizer = (*DiagAuthorizer)(nil)
+
+// NewDiagAuthorizer builds the vehicle-resident verifier.
+func NewDiagAuthorizer(vehicleID string, pub ed25519.PublicKey) (*DiagAuthorizer, error) {
+	if vehicleID == "" {
+		return nil, fmt.Errorf("core: diag authorizer needs a vehicle id")
+	}
+	if len(pub) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("core: bad OEM public key length %d", len(pub))
+	}
+	return &DiagAuthorizer{vehicleID: vehicleID, pub: pub}, nil
+}
+
+// Authorize implements car.ModeAuthorizer.
+func (d *DiagAuthorizer) Authorize(token []byte) bool {
+	var tok diagToken
+	if err := json.Unmarshal(token, &tok); err != nil {
+		return false
+	}
+	if tok.Claim.Purpose != diagPurpose || tok.Claim.VehicleID != d.vehicleID {
+		return false
+	}
+	payload, err := json.Marshal(tok.Claim)
+	if err != nil {
+		return false
+	}
+	return ed25519.Verify(d.pub, payload, tok.Signature)
+}

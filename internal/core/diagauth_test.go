@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/car"
+)
+
+func TestDiagTokenRoundTrip(t *testing.T) {
+	oem, err := NewOEM(entropy(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := NewDiagAuthorizer("VIN-123", oem.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, err := oem.IssueDiagToken("VIN-123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auth.Authorize(token) {
+		t.Fatal("valid token rejected")
+	}
+}
+
+func TestDiagTokenVehicleBinding(t *testing.T) {
+	oem, _ := NewOEM(entropy(5))
+	auth, err := NewDiagAuthorizer("VIN-123", oem.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := oem.IssueDiagToken("VIN-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth.Authorize(other) {
+		t.Error("token for another vehicle accepted")
+	}
+}
+
+func TestDiagTokenForgeryRejected(t *testing.T) {
+	oem, _ := NewOEM(entropy(5))
+	mallory, _ := NewOEM(entropy(66))
+	auth, err := NewDiagAuthorizer("VIN-123", oem.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := mallory.IssueDiagToken("VIN-123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth.Authorize(forged) {
+		t.Error("forged token accepted")
+	}
+	if auth.Authorize([]byte("not json")) {
+		t.Error("garbage accepted")
+	}
+	if auth.Authorize(nil) {
+		t.Error("nil token accepted")
+	}
+	// Bundle signatures must not double as diag tokens (purpose binding).
+	m := buildModel(t, 1)
+	bundle, err := oem.Issue(m.Policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := bundle.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth.Authorize(raw) {
+		t.Error("policy bundle accepted as diag token")
+	}
+}
+
+func TestDiagAuthorizerConstruction(t *testing.T) {
+	oem, _ := NewOEM(entropy(5))
+	if _, err := NewDiagAuthorizer("", oem.PublicKey()); err == nil {
+		t.Error("empty vehicle id accepted")
+	}
+	if _, err := NewDiagAuthorizer("VIN", []byte{1, 2, 3}); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+// TestModeManagerWithOEMTokens ties the pieces together: the paper's
+// "reserved for maintenance by manufacturer or authorised engineer" becomes
+// an end-to-end property of the vehicle.
+func TestModeManagerWithOEMTokens(t *testing.T) {
+	oem, _ := NewOEM(entropy(5))
+	c := car.MustNew(car.Config{})
+	auth, err := NewDiagAuthorizer("VIN-123", oem.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := car.NewModeManager(c, auth)
+
+	if err := mgr.Request(car.ModeRemoteDiag, nil); !errors.Is(err, car.ErrModeUnauthorized) {
+		t.Fatalf("entry without token: %v", err)
+	}
+	token, err := oem.IssueDiagToken("VIN-123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Request(car.ModeRemoteDiag, token); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode() != car.ModeRemoteDiag {
+		t.Fatal("mode not switched")
+	}
+}

@@ -1,0 +1,187 @@
+// Package dread implements the DREAD risk-assessment model used by the
+// paper's threat-rating step: each threat receives five component scores —
+// Damage, Reproducibility, Exploitability, Affected users, Discoverability —
+// whose average quantifies the threat's severity (Table I renders these as
+// "8,5,4,6,4 (5.4)").
+//
+// Scores are derived from qualitative levels through a Rubric rather than
+// assigned as raw numbers, so the reproduced table is a computation over
+// scenario facts.
+package dread
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxComponent is the upper bound of each DREAD component score.
+const MaxComponent = 10
+
+// Score is the five-component DREAD rating of a threat.
+type Score struct {
+	// Damage: how bad would an attack be?
+	Damage int
+	// Reproducibility: how easy is it to reproduce the attack?
+	Reproducibility int
+	// Exploitability: how much work is it to launch the attack?
+	Exploitability int
+	// AffectedUsers: how many people will be impacted?
+	AffectedUsers int
+	// Discoverability: how easy is it to discover the threat?
+	Discoverability int
+}
+
+// ErrRange is returned when a component score falls outside [0, MaxComponent].
+var ErrRange = errors.New("dread: component score out of range")
+
+// New builds a validated score.
+func New(d, r, e, a, disc int) (Score, error) {
+	s := Score{d, r, e, a, disc}
+	if err := s.Validate(); err != nil {
+		return Score{}, err
+	}
+	return s, nil
+}
+
+// MustNew is New for static tables; it panics on invalid components.
+func MustNew(d, r, e, a, disc int) Score {
+	s, err := New(d, r, e, a, disc)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks every component is within [0, MaxComponent].
+func (s Score) Validate() error {
+	for _, c := range s.Components() {
+		if c < 0 || c > MaxComponent {
+			return fmt.Errorf("%w: %d", ErrRange, c)
+		}
+	}
+	return nil
+}
+
+// Components returns the five components in D,R,E,A,D order.
+func (s Score) Components() [5]int {
+	return [5]int{s.Damage, s.Reproducibility, s.Exploitability, s.AffectedUsers, s.Discoverability}
+}
+
+// Average returns the arithmetic mean of the five components.
+func (s Score) Average() float64 {
+	sum := 0
+	for _, c := range s.Components() {
+		sum += c
+	}
+	return float64(sum) / 5
+}
+
+// String renders the score exactly as Table I does: "8,5,4,6,4 (5.4)".
+func (s Score) String() string {
+	c := s.Components()
+	return fmt.Sprintf("%d,%d,%d,%d,%d (%.1f)", c[0], c[1], c[2], c[3], c[4], s.Average())
+}
+
+// Parse reads the Table I rendering ("8,5,4,6,4 (5.4)" or just "8,5,4,6,4")
+// back into a Score. A parenthesised average, when present, is verified
+// against the components to one decimal place.
+func Parse(in string) (Score, error) {
+	text := strings.TrimSpace(in)
+	var avgPart string
+	if i := strings.IndexByte(text, '('); i >= 0 {
+		j := strings.IndexByte(text, ')')
+		if j < i {
+			return Score{}, fmt.Errorf("dread: malformed average in %q", in)
+		}
+		avgPart = strings.TrimSpace(text[i+1 : j])
+		text = strings.TrimSpace(text[:i])
+	}
+	parts := strings.Split(text, ",")
+	if len(parts) != 5 {
+		return Score{}, fmt.Errorf("dread: want 5 components in %q, got %d", in, len(parts))
+	}
+	var comps [5]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return Score{}, fmt.Errorf("dread: bad component %q: %w", p, err)
+		}
+		comps[i] = v
+	}
+	s, err := New(comps[0], comps[1], comps[2], comps[3], comps[4])
+	if err != nil {
+		return Score{}, err
+	}
+	if avgPart != "" {
+		want, err := strconv.ParseFloat(avgPart, 64)
+		if err != nil {
+			return Score{}, fmt.Errorf("dread: bad average %q: %w", avgPart, err)
+		}
+		if got := s.Average(); fmt.Sprintf("%.1f", got) != fmt.Sprintf("%.1f", want) {
+			return Score{}, fmt.Errorf("dread: average mismatch in %q: computed %.1f", in, got)
+		}
+	}
+	return s, nil
+}
+
+// Rating is the coarse severity band of a threat, used to prioritise
+// countermeasure effort.
+type Rating uint8
+
+// Rating bands over the DREAD average.
+const (
+	// Low: average below 4.
+	Low Rating = iota + 1
+	// Medium: average in [4, 6).
+	Medium
+	// High: average in [6, 8).
+	High
+	// Critical: average of 8 or above.
+	Critical
+)
+
+// String returns the band name.
+func (r Rating) String() string {
+	switch r {
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	case Critical:
+		return "Critical"
+	default:
+		return "invalid"
+	}
+}
+
+// Rate maps the score's average onto its severity band.
+func (s Score) Rate() Rating {
+	avg := s.Average()
+	switch {
+	case avg >= 8:
+		return Critical
+	case avg >= 6:
+		return High
+	case avg >= 4:
+		return Medium
+	default:
+		return Low
+	}
+}
+
+// Less orders scores by average, breaking ties by damage then
+// exploitability, so threat lists sort deterministically.
+func (s Score) Less(t Score) bool {
+	sa, ta := s.Average(), t.Average()
+	if sa != ta {
+		return sa < ta
+	}
+	if s.Damage != t.Damage {
+		return s.Damage < t.Damage
+	}
+	return s.Exploitability < t.Exploitability
+}

@@ -1,0 +1,196 @@
+// Package fleet implements the distribution side of the paper's policy
+// update mechanism (§V-A.2): an OEM pushing a signed policy bundle to a
+// population of vehicles. Updates roll out in stages (canary first), the
+// rollout aborts when a stage's failure rate crosses a threshold, and the
+// report records the fate of every vehicle — the operational details the
+// paper's "the OEM can distribute a policy definition update" glosses over.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// Vehicle is one update endpoint. core.Device satisfies this through the
+// DeviceVehicle adapter; tests use fakes.
+type Vehicle interface {
+	// ID returns the vehicle's stable identifier (e.g. VIN).
+	ID() string
+	// Apply verifies and installs the bundle.
+	Apply(b *policy.Bundle) error
+}
+
+// VehicleFunc adapts a closure to Vehicle.
+type VehicleFunc struct {
+	// VID is the identifier returned by ID.
+	VID string
+	// Fn performs the installation.
+	Fn func(b *policy.Bundle) error
+}
+
+// ID implements Vehicle.
+func (v VehicleFunc) ID() string { return v.VID }
+
+// Apply implements Vehicle.
+func (v VehicleFunc) Apply(b *policy.Bundle) error { return v.Fn(b) }
+
+var _ Vehicle = VehicleFunc{}
+
+// Plan parameterises a staged rollout.
+type Plan struct {
+	// Stages are cumulative population fractions in (0, 1]; each stage
+	// updates the vehicles between the previous cumulative fraction and
+	// its own. A canary plan looks like {0.01, 0.1, 0.5, 1.0}.
+	Stages []float64
+	// AbortThreshold is the per-stage failure-rate ceiling in [0, 1); when
+	// a stage's failure rate exceeds it, remaining stages are cancelled.
+	AbortThreshold float64
+}
+
+// DefaultPlan is a conservative canary rollout: 1%, 10%, 50%, 100%, abort
+// when more than 5% of a stage fails.
+func DefaultPlan() Plan {
+	return Plan{Stages: []float64{0.01, 0.10, 0.50, 1.00}, AbortThreshold: 0.05}
+}
+
+// Plan validation errors.
+var (
+	ErrNoStages     = errors.New("fleet: plan has no stages")
+	ErrStageRange   = errors.New("fleet: stage fractions must be increasing within (0, 1]")
+	ErrLastStage    = errors.New("fleet: final stage must cover the whole fleet (1.0)")
+	ErrBadThreshold = errors.New("fleet: abort threshold must be in [0, 1)")
+)
+
+// Validate checks plan well-formedness.
+func (p Plan) Validate() error {
+	if len(p.Stages) == 0 {
+		return ErrNoStages
+	}
+	prev := 0.0
+	for _, f := range p.Stages {
+		if f <= prev || f > 1 {
+			return fmt.Errorf("%w: got %v after %v", ErrStageRange, f, prev)
+		}
+		prev = f
+	}
+	if p.Stages[len(p.Stages)-1] != 1.0 {
+		return ErrLastStage
+	}
+	if p.AbortThreshold < 0 || p.AbortThreshold >= 1 {
+		return fmt.Errorf("%w: %v", ErrBadThreshold, p.AbortThreshold)
+	}
+	return nil
+}
+
+// Failure records one vehicle that rejected the update.
+type Failure struct {
+	// VehicleID identifies the endpoint.
+	VehicleID string
+	// Err is the rejection cause.
+	Err error
+}
+
+// StageReport summarises one rollout stage.
+type StageReport struct {
+	// Stage is the index within the plan.
+	Stage int
+	// Fraction echoes the cumulative plan fraction.
+	Fraction float64
+	// Attempted, Applied and Failed count vehicles in this stage.
+	Attempted, Applied, Failed int
+	// Failures lists rejections (in fleet order).
+	Failures []Failure
+}
+
+// FailureRate returns failures over attempts (0 for an empty stage).
+func (s StageReport) FailureRate() float64 {
+	if s.Attempted == 0 {
+		return 0
+	}
+	return float64(s.Failed) / float64(s.Attempted)
+}
+
+// Report is the outcome of a rollout.
+type Report struct {
+	// BundleVersion echoes the distributed bundle.
+	BundleVersion uint64
+	// Stages in execution order (only executed stages appear).
+	Stages []StageReport
+	// Aborted reports whether the abort threshold cancelled later stages.
+	Aborted bool
+	// AbortedAtStage is the index of the failing stage when Aborted.
+	AbortedAtStage int
+	// Applied and Failed are fleet-wide totals.
+	Applied, Failed int
+}
+
+// String renders a rollout summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rollout of policy v%d: applied=%d failed=%d", r.BundleVersion, r.Applied, r.Failed)
+	if r.Aborted {
+		fmt.Fprintf(&b, " ABORTED at stage %d", r.AbortedAtStage)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Stages {
+		fmt.Fprintf(&b, "  stage %d (%.0f%%): attempted=%d applied=%d failed=%d (rate %.1f%%)\n",
+			s.Stage, s.Fraction*100, s.Attempted, s.Applied, s.Failed, s.FailureRate()*100)
+	}
+	return b.String()
+}
+
+// Rollout executes a staged distribution of bundle to the fleet. Vehicles
+// are ordered by ID for determinism; each is attempted at most once. When a
+// stage's failure rate exceeds the plan's threshold the rollout stops
+// before the next stage (already-updated vehicles keep the new policy; the
+// store's version monotonicity makes re-running the rollout after a fix
+// safe and idempotent).
+func Rollout(fleetVehicles []Vehicle, bundle *policy.Bundle, plan Plan) (Report, error) {
+	if err := plan.Validate(); err != nil {
+		return Report{}, err
+	}
+	if bundle == nil {
+		return Report{}, errors.New("fleet: nil bundle")
+	}
+	ordered := append([]Vehicle(nil), fleetVehicles...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID() < ordered[j].ID() })
+
+	report := Report{BundleVersion: bundle.Version}
+	total := len(ordered)
+	done := 0
+	for idx, frac := range plan.Stages {
+		upTo := int(frac * float64(total))
+		if idx == len(plan.Stages)-1 {
+			upTo = total // avoid float truncation dropping the tail
+		}
+		if upTo <= done {
+			// Tiny fleets can make early stages empty; skip but record.
+			report.Stages = append(report.Stages, StageReport{Stage: idx, Fraction: frac})
+			continue
+		}
+		sr := StageReport{Stage: idx, Fraction: frac}
+		for _, v := range ordered[done:upTo] {
+			sr.Attempted++
+			if err := v.Apply(bundle); err != nil {
+				sr.Failed++
+				sr.Failures = append(sr.Failures, Failure{VehicleID: v.ID(), Err: err})
+			} else {
+				sr.Applied++
+			}
+		}
+		done = upTo
+		report.Stages = append(report.Stages, sr)
+		report.Applied += sr.Applied
+		report.Failed += sr.Failed
+		if sr.FailureRate() > plan.AbortThreshold {
+			report.Aborted = true
+			report.AbortedAtStage = idx
+			break
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func testBundle(t *testing.T, version int) *policy.Bundle {
+	t.Helper()
+	seed := make([]byte, ed25519.SeedSize)
+	priv := ed25519.NewKeyFromSeed(seed)
+	src := fmt.Sprintf(`policy "fleet" version %d { allow read 0x100 at ecu }`, version)
+	b, err := policy.Sign(src, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// fakeFleet builds n vehicles; ids chosen so lexical order is stable.
+// failing marks vehicle indices (in sorted order) that reject the update.
+func fakeFleet(n int, failing map[int]bool) []Vehicle {
+	out := make([]Vehicle, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		out = append(out, VehicleFunc{
+			VID: fmt.Sprintf("VIN-%04d", i),
+			Fn: func(*policy.Bundle) error {
+				if failing[i] {
+					return errors.New("verification failed")
+				}
+				return nil
+			},
+		})
+	}
+	return out
+}
+
+func TestPlanValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		plan Plan
+		want error
+	}{
+		{"default ok", DefaultPlan(), nil},
+		{"no stages", Plan{AbortThreshold: 0.1}, ErrNoStages},
+		{"non increasing", Plan{Stages: []float64{0.5, 0.5, 1}, AbortThreshold: 0.1}, ErrStageRange},
+		{"over one", Plan{Stages: []float64{0.5, 1.5}, AbortThreshold: 0.1}, ErrStageRange},
+		{"zero stage", Plan{Stages: []float64{0, 1}, AbortThreshold: 0.1}, ErrStageRange},
+		{"last not full", Plan{Stages: []float64{0.5, 0.9}, AbortThreshold: 0.1}, ErrLastStage},
+		{"bad threshold", Plan{Stages: []float64{1}, AbortThreshold: 1}, ErrBadThreshold},
+		{"negative threshold", Plan{Stages: []float64{1}, AbortThreshold: -0.1}, ErrBadThreshold},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.plan.Validate()
+			if tt.want == nil && err != nil {
+				t.Fatalf("Validate = %v", err)
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Fatalf("Validate = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRolloutHappyPath(t *testing.T) {
+	vehicles := fakeFleet(200, nil)
+	r, err := Rollout(vehicles, testBundle(t, 2), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Aborted {
+		t.Fatal("clean rollout aborted")
+	}
+	if r.Applied != 200 || r.Failed != 0 {
+		t.Fatalf("applied=%d failed=%d", r.Applied, r.Failed)
+	}
+	if r.BundleVersion != 2 {
+		t.Errorf("version = %d", r.BundleVersion)
+	}
+	// Stage sizes follow the plan: 1%, 10%, 50%, 100% of 200.
+	wantAttempts := []int{2, 18, 80, 100}
+	if len(r.Stages) != 4 {
+		t.Fatalf("stages = %d", len(r.Stages))
+	}
+	for i, s := range r.Stages {
+		if s.Attempted != wantAttempts[i] {
+			t.Errorf("stage %d attempted = %d, want %d", i, s.Attempted, wantAttempts[i])
+		}
+	}
+}
+
+func TestRolloutAbortsOnCanaryFailures(t *testing.T) {
+	// All canary vehicles (first 2 of 200 in sorted order) fail.
+	vehicles := fakeFleet(200, map[int]bool{0: true, 1: true})
+	r, err := Rollout(vehicles, testBundle(t, 1), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Aborted || r.AbortedAtStage != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Applied != 0 || r.Failed != 2 {
+		t.Errorf("applied=%d failed=%d", r.Applied, r.Failed)
+	}
+	if len(r.Stages) != 1 {
+		t.Errorf("stages executed = %d, want 1 (abort before stage 2)", len(r.Stages))
+	}
+	if len(r.Stages[0].Failures) != 2 || r.Stages[0].Failures[0].VehicleID != "VIN-0000" {
+		t.Errorf("failures = %+v", r.Stages[0].Failures)
+	}
+}
+
+func TestRolloutToleratesFailuresBelowThreshold(t *testing.T) {
+	// 2 failures inside the 50% stage of 200 vehicles: stage rate 2/80 =
+	// 2.5% < 5% threshold, so the rollout completes.
+	vehicles := fakeFleet(200, map[int]bool{50: true, 60: true})
+	r, err := Rollout(vehicles, testBundle(t, 1), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Aborted {
+		t.Fatalf("aborted despite sub-threshold failures: %+v", r)
+	}
+	if r.Applied != 198 || r.Failed != 2 {
+		t.Errorf("applied=%d failed=%d", r.Applied, r.Failed)
+	}
+}
+
+func TestRolloutTinyFleet(t *testing.T) {
+	// With 3 vehicles the 1% and 10% stages are empty; everyone updates in
+	// later stages and nobody is skipped or hit twice.
+	applied := map[string]int{}
+	var vehicles []Vehicle
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("V-%d", i)
+		vehicles = append(vehicles, VehicleFunc{VID: id, Fn: func(*policy.Bundle) error {
+			applied[id]++
+			return nil
+		}})
+	}
+	r, err := Rollout(vehicles, testBundle(t, 1), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Applied != 3 {
+		t.Fatalf("applied = %d", r.Applied)
+	}
+	for id, n := range applied {
+		if n != 1 {
+			t.Errorf("vehicle %s updated %d times", id, n)
+		}
+	}
+}
+
+func TestRolloutSingleStage(t *testing.T) {
+	vehicles := fakeFleet(10, map[int]bool{3: true})
+	r, err := Rollout(vehicles, testBundle(t, 1), Plan{Stages: []float64{1.0}, AbortThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Applied != 9 || r.Failed != 1 || r.Aborted {
+		t.Errorf("report = %+v", r)
+	}
+}
+
+func TestRolloutRejectsBadInput(t *testing.T) {
+	if _, err := Rollout(fakeFleet(1, nil), nil, DefaultPlan()); err == nil {
+		t.Error("nil bundle accepted")
+	}
+	if _, err := Rollout(fakeFleet(1, nil), testBundle(t, 1), Plan{}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	vehicles := fakeFleet(100, map[int]bool{0: true})
+	r, err := Rollout(vehicles, testBundle(t, 7), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	if !strings.Contains(out, "rollout of policy v7") || !strings.Contains(out, "ABORTED") {
+		t.Errorf("rendering = %q", out)
+	}
+}
+
+func TestRolloutDeterministicOrder(t *testing.T) {
+	// Vehicles are attempted in ID order regardless of input order.
+	var order []string
+	mk := func(id string) Vehicle {
+		return VehicleFunc{VID: id, Fn: func(*policy.Bundle) error {
+			order = append(order, id)
+			return nil
+		}}
+	}
+	vehicles := []Vehicle{mk("C"), mk("A"), mk("B")}
+	if _, err := Rollout(vehicles, testBundle(t, 1), Plan{Stages: []float64{1}, AbortThreshold: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "A" || order[1] != "B" || order[2] != "C" {
+		t.Errorf("order = %v", order)
+	}
+}

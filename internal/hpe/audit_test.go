@@ -1,0 +1,94 @@
+package hpe
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/canbus"
+)
+
+func TestAuditorRecordsBlocks(t *testing.T) {
+	e := newEngine(t, "Normal")
+	var now time.Duration
+	a := NewAuditor(10, func() time.Duration { return now })
+	e.AttachAuditor(a)
+
+	now = 5 * time.Millisecond
+	e.Decide(canbus.Read, frame(0x100)) // grant: not audited
+	e.Decide(canbus.Read, frame(0x666)) // block: audited
+	now = 7 * time.Millisecond
+	e.Decide(canbus.Write, frame(0x100)) // block (read-only id): audited
+
+	recs := a.Drain()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].ID != 0x666 || recs[0].Direction != canbus.Read || recs[0].At != 5*time.Millisecond {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[1].ID != 0x100 || recs[1].Direction != canbus.Write || recs[1].At != 7*time.Millisecond {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+	if recs[0].Subject != "ecu" || recs[0].Mode != "Normal" {
+		t.Errorf("record 0 context = %+v", recs[0])
+	}
+	line := recs[0].String()
+	if !strings.Contains(line, "blocked") || !strings.Contains(line, "0x666") {
+		t.Errorf("audit line %q", line)
+	}
+	// Drain clears.
+	if a.Len() != 0 {
+		t.Errorf("Len after drain = %d", a.Len())
+	}
+}
+
+func TestAuditorRingBound(t *testing.T) {
+	e := newEngine(t, "Normal")
+	a := NewAuditor(3, nil)
+	e.AttachAuditor(a)
+	for i := 0; i < 10; i++ {
+		e.Decide(canbus.Read, frame(uint32(0x600+i)))
+	}
+	recs := a.Drain()
+	if len(recs) != 3 {
+		t.Fatalf("ring kept %d records, want 3", len(recs))
+	}
+	// The newest three survive.
+	if recs[0].ID != 0x607 || recs[2].ID != 0x609 {
+		t.Errorf("wrong records survived: %v", recs)
+	}
+	if recs[2].Seq != 10 {
+		t.Errorf("seq = %d, want 10", recs[2].Seq)
+	}
+}
+
+func TestAuditorDetach(t *testing.T) {
+	e := newEngine(t, "Normal")
+	a := NewAuditor(0, nil) // default capacity
+	e.AttachAuditor(a)
+	e.Decide(canbus.Read, frame(0x666))
+	e.AttachAuditor(nil)
+	e.Decide(canbus.Read, frame(0x667))
+	if got := a.Len(); got != 1 {
+		t.Errorf("records after detach = %d, want 1", got)
+	}
+}
+
+func TestAuditorDoesNotStorePayload(t *testing.T) {
+	e := newEngine(t, "Normal")
+	a := NewAuditor(4, nil)
+	e.AttachAuditor(a)
+	secret := canbus.MustDataFrame(0x666, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	e.Decide(canbus.Write, secret)
+	recs := a.Drain()
+	if len(recs) != 1 {
+		t.Fatal("no record")
+	}
+	if recs[0].DLC != 4 {
+		t.Errorf("DLC = %d", recs[0].DLC)
+	}
+	if strings.Contains(recs[0].String(), "DEAD") {
+		t.Error("audit line leaks payload bytes")
+	}
+}

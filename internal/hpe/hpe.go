@@ -1,0 +1,205 @@
+// Package hpe simulates the hardware-based policy engine of the paper's
+// Fig. 4: a block sitting between a node's CAN controller and transceiver,
+// holding an approved reading list and an approved writing list of message
+// identifiers, with a decision block that grants or blocks each frame.
+//
+// Two properties from §V-B.2 are modelled faithfully:
+//
+//   - Transparency: the engine implements canbus.InlineFilter and is invisible
+//     to node software; nothing in the node's firmware path can mutate it.
+//     Table swaps happen only through Install, which the secure policy-update
+//     path (policy.Store) drives.
+//   - Robustness to firmware compromise: compromising the CAN controller
+//     (Controller.CompromiseFilters) bypasses software acceptance filters but
+//     leaves the engine's filtering intact, because it is a separate hardware
+//     entity.
+//
+// Because a real HPE is an RTL block, the simulation also carries a cycle
+// cost model so benchmarks can report decision latency in hardware terms.
+package hpe
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/canbus"
+	"repro/internal/policy"
+)
+
+// ModeSource reports the device's current operating mode. The connected-car
+// model implements this; the engine consults it on every decision so a mode
+// switch (Normal -> Fail-safe) changes enforcement instantly.
+type ModeSource interface {
+	// Mode returns the current operating mode.
+	Mode() policy.Mode
+}
+
+// FixedMode is a ModeSource pinned to one mode, for tests and single-mode
+// devices.
+type FixedMode policy.Mode
+
+// Mode implements ModeSource.
+func (m FixedMode) Mode() policy.Mode { return policy.Mode(m) }
+
+var _ ModeSource = FixedMode("")
+
+// CycleModel prices engine operations in hardware clock cycles.
+type CycleModel struct {
+	// ClockHz is the engine clock frequency (for latency conversion).
+	ClockHz uint64
+	// DecodeCycles is the fixed cost of parsing the frame header.
+	DecodeCycles uint64
+	// LookupCycles is the cost of one approved-list query (1 for a CAM).
+	LookupCycles uint64
+	// DecisionCycles is the cost of the decision block itself.
+	DecisionCycles uint64
+}
+
+// DefaultCycleModel approximates a modest FPGA implementation: 100 MHz
+// clock, 2-cycle header decode, single-cycle CAM lookup, 1-cycle decision.
+func DefaultCycleModel() CycleModel {
+	return CycleModel{ClockHz: 100_000_000, DecodeCycles: 2, LookupCycles: 1, DecisionCycles: 1}
+}
+
+// PerDecision returns the cycle cost of one grant/block decision.
+func (m CycleModel) PerDecision() uint64 {
+	return m.DecodeCycles + m.LookupCycles + m.DecisionCycles
+}
+
+// LatencyNanos converts a cycle count to nanoseconds at the engine clock.
+func (m CycleModel) LatencyNanos(cycles uint64) float64 {
+	if m.ClockHz == 0 {
+		return 0
+	}
+	return float64(cycles) / float64(m.ClockHz) * 1e9
+}
+
+// Stats counts engine activity. All counters are monotonically increasing.
+type Stats struct {
+	// Decisions counts every consultation of the decision block.
+	Decisions uint64
+	// ReadsGranted / ReadsBlocked split inbound outcomes.
+	ReadsGranted, ReadsBlocked uint64
+	// WritesGranted / WritesBlocked split outbound outcomes.
+	WritesGranted, WritesBlocked uint64
+	// Cycles accumulates the modelled hardware cycle cost.
+	Cycles uint64
+	// Installs counts policy table swaps.
+	Installs uint64
+}
+
+// Engine is one node's policy engine instance.
+type Engine struct {
+	subject string
+	modes   ModeSource
+	cycles  CycleModel
+
+	table atomic.Pointer[policy.NodeTable]
+
+	mu      sync.Mutex
+	stats   Stats
+	auditor *Auditor
+}
+
+var _ canbus.InlineFilter = (*Engine)(nil)
+
+// New creates an engine for the named node. Until Install is called the
+// engine fails closed: every frame is blocked, matching the paper's
+// least-privilege stance (§V-B).
+func New(subject string, modes ModeSource, cycles CycleModel) *Engine {
+	if modes == nil {
+		panic("hpe: nil ModeSource")
+	}
+	return &Engine{subject: subject, modes: modes, cycles: cycles}
+}
+
+// Subject returns the node name this engine protects.
+func (e *Engine) Subject() string { return e.subject }
+
+// Install loads the node's table from a compiled policy. It is the only
+// mutation path, used by the secure update mechanism; the swap is atomic
+// with respect to concurrent decisions.
+func (e *Engine) Install(c *policy.Compiled) error {
+	if c == nil {
+		return fmt.Errorf("hpe: nil compiled policy")
+	}
+	e.table.Store(c.Node(e.subject))
+	e.mu.Lock()
+	e.stats.Installs++
+	e.mu.Unlock()
+	return nil
+}
+
+// Installed reports whether a policy table has been loaded.
+func (e *Engine) Installed() bool { return e.table.Load() != nil }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// CycleModel returns the engine's cycle cost model.
+func (e *Engine) CycleModel() CycleModel { return e.cycles }
+
+// Decide implements canbus.InlineFilter: it consults the approved reading
+// list for inbound frames and the approved writing list for outbound
+// frames, granting only identifiers present for the current mode.
+func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
+	verdict := canbus.Block
+	t := e.table.Load()
+	if t != nil {
+		mt := t.Table(e.modes.Mode())
+		switch dir {
+		case canbus.Read:
+			if mt.Reads != nil && mt.Reads.Contains(f.ID) {
+				verdict = canbus.Grant
+			}
+		case canbus.Write:
+			if mt.Writes != nil && mt.Writes.Contains(f.ID) {
+				verdict = canbus.Grant
+			}
+		}
+	}
+
+	e.mu.Lock()
+	e.stats.Decisions++
+	e.stats.Cycles += e.cycles.PerDecision()
+	switch {
+	case dir == canbus.Read && verdict == canbus.Grant:
+		e.stats.ReadsGranted++
+	case dir == canbus.Read:
+		e.stats.ReadsBlocked++
+	case dir == canbus.Write && verdict == canbus.Grant:
+		e.stats.WritesGranted++
+	default:
+		e.stats.WritesBlocked++
+	}
+	auditor := e.auditor
+	e.mu.Unlock()
+	if verdict == canbus.Block && auditor != nil {
+		auditor.record(e.subject, dir, e.modes.Mode(), f)
+	}
+	return verdict
+}
+
+// Deploy attaches engines to every listed node of a bus and installs the
+// compiled policy into each. It returns the engines keyed by node name.
+func Deploy(bus *canbus.Bus, compiled *policy.Compiled, modes ModeSource, cycles CycleModel, nodeNames ...string) (map[string]*Engine, error) {
+	engines := make(map[string]*Engine, len(nodeNames))
+	for _, name := range nodeNames {
+		node, ok := bus.Node(name)
+		if !ok {
+			return nil, fmt.Errorf("hpe: node %q not attached to bus", name)
+		}
+		eng := New(name, modes, cycles)
+		if err := eng.Install(compiled); err != nil {
+			return nil, err
+		}
+		node.SetInlineFilter(eng)
+		engines[name] = eng
+	}
+	return engines, nil
+}

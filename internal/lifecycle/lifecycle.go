@@ -1,0 +1,289 @@
+// Package lifecycle models the secure product development life-cycle of the
+// paper's Fig. 1 and quantifies its central claim (§V-A.3): countering a
+// newly discovered threat with a policy update is far faster than the
+// guideline approach's redesign / recall cycle.
+//
+// The model is a parameterised stage-cost pipeline. Absolute durations are
+// inputs (industry-scale defaults are provided); the reproduced result is
+// the *relative* cycle length and the exposure window it implies.
+package lifecycle
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Day is the base unit of the default cost model.
+const Day = 24 * time.Hour
+
+// StepKind distinguishes boxes in the Fig. 1 flow.
+type StepKind uint8
+
+// Step kinds.
+const (
+	// Process is an activity performed by a team.
+	Process StepKind = iota + 1
+	// Artifact is a produced document or deliverable.
+	Artifact
+	// Gate is a decision/compliance checkpoint.
+	Gate
+)
+
+// String returns the kind name.
+func (k StepKind) String() string {
+	switch k {
+	case Process:
+		return "process"
+	case Artifact:
+		return "artifact"
+	case Gate:
+		return "gate"
+	default:
+		return "invalid"
+	}
+}
+
+// Step is one element of the Fig. 1 pipeline.
+type Step struct {
+	// Name is the Fig. 1 box label.
+	Name string
+	// Kind classifies the box.
+	Kind StepKind
+	// Detail explains the step.
+	Detail string
+}
+
+// Pipeline returns the Fig. 1 secure product development life-cycle: the
+// application threat modelling stages, the device security model bridging
+// design and testing (the paper highlights it as the bridge that can be
+// expressed as access control policies), implementation and secure
+// application testing.
+func Pipeline() []Step {
+	return []Step{
+		{Name: "Risk assessment", Kind: Process,
+			Detail: "decompose the use case; identify entities, interactions and risks"},
+		{Name: "Identify Assets", Kind: Process,
+			Detail: "identify items of value, incl. dependent assets via data flow"},
+		{Name: "Entry Points", Kind: Process,
+			Detail: "map interfaces exposing critical assets to attackers"},
+		{Name: "Threat Identification", Kind: Process,
+			Detail: "enumerate exploitable vulnerabilities; categorise with STRIDE"},
+		{Name: "Threat Rating", Kind: Process,
+			Detail: "prioritise and quantify threats with DREAD"},
+		{Name: "Determine countermeasure", Kind: Process,
+			Detail: "define a countermeasure per threat by prioritised risk"},
+		{Name: "Device security model", Kind: Artifact,
+			Detail: "bridge between modelling and testing; expressible as access control policies"},
+		{Name: "Hardware & software implementation", Kind: Process,
+			Detail: "developers implement to the security guidance"},
+		{Name: "Secure application testing", Kind: Process,
+			Detail: "verify the implementation complies with the security model"},
+		{Name: "Compliance", Kind: Gate,
+			Detail: "security assurance for regulators and OEM customers"},
+		{Name: "Deployment", Kind: Process,
+			Detail: "device ships; life-cycle continues to decommission"},
+	}
+}
+
+// CostModel parameterises stage durations. All fields must be positive for
+// the stages a path uses.
+type CostModel struct {
+	// ThreatAnalysis: re-running threat modelling for the new threat.
+	ThreatAnalysis time.Duration
+	// Redesign: hardware/software redesign under the guideline approach.
+	Redesign time.Duration
+	// Reimplementation: implementing the redesigned countermeasure.
+	Reimplementation time.Duration
+	// RegressionTest: full product regression and certification testing.
+	RegressionTest time.Duration
+	// RecallOrUpdate: physically recalling units or staging a full firmware
+	// image rollout.
+	RecallOrUpdate time.Duration
+
+	// PolicyDerivation: deriving new policy rules from the updated model.
+	PolicyDerivation time.Duration
+	// PolicyValidation: testing/verifying the policy against the device
+	// model (no product redesign involved).
+	PolicyValidation time.Duration
+	// PolicySigning: signing and packaging the policy bundle.
+	PolicySigning time.Duration
+	// PolicyDistribution: distributing the bundle over the air.
+	PolicyDistribution time.Duration
+}
+
+// DefaultCostModel gives industry-scale defaults: a redesign cycle measured
+// in months (automotive change management, regression, recall logistics)
+// versus a policy cycle measured in days.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ThreatAnalysis:   10 * Day,
+		Redesign:         45 * Day,
+		Reimplementation: 60 * Day,
+		RegressionTest:   30 * Day,
+		RecallOrUpdate:   90 * Day,
+
+		PolicyDerivation:   2 * Day,
+		PolicyValidation:   3 * Day,
+		PolicySigning:      Day / 2,
+		PolicyDistribution: 2 * Day,
+	}
+}
+
+// Validate rejects non-positive durations.
+func (m CostModel) Validate() error {
+	fields := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"ThreatAnalysis", m.ThreatAnalysis},
+		{"Redesign", m.Redesign},
+		{"Reimplementation", m.Reimplementation},
+		{"RegressionTest", m.RegressionTest},
+		{"RecallOrUpdate", m.RecallOrUpdate},
+		{"PolicyDerivation", m.PolicyDerivation},
+		{"PolicyValidation", m.PolicyValidation},
+		{"PolicySigning", m.PolicySigning},
+		{"PolicyDistribution", m.PolicyDistribution},
+	}
+	for _, f := range fields {
+		if f.d <= 0 {
+			return fmt.Errorf("lifecycle: %s must be positive, got %v", f.name, f.d)
+		}
+	}
+	return nil
+}
+
+// PathKind selects the post-deployment response strategy.
+type PathKind uint8
+
+// Response paths.
+const (
+	// GuidelinePath: the traditional approach — redesign, reimplement,
+	// regression-test, recall/rollout (§V-A.1).
+	GuidelinePath PathKind = iota + 1
+	// PolicyPath: the paper's approach — derive, validate, sign and
+	// distribute a policy update (§V-A.2).
+	PolicyPath
+)
+
+// String returns the path name.
+func (p PathKind) String() string {
+	switch p {
+	case GuidelinePath:
+		return "guideline"
+	case PolicyPath:
+		return "policy"
+	default:
+		return "invalid"
+	}
+}
+
+// StageCost is one step of a response with its duration.
+type StageCost struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Response is the full post-deployment reaction to a new threat.
+type Response struct {
+	// Path identifies the strategy.
+	Path PathKind
+	// Steps in execution order.
+	Steps []StageCost
+	// Total is the end-to-end duration (sum of steps; stages are serial,
+	// which favours neither path).
+	Total time.Duration
+}
+
+// ErrUnknownPath is returned for invalid path kinds.
+var ErrUnknownPath = errors.New("lifecycle: unknown response path")
+
+// Respond computes the response of the chosen path under a cost model.
+func Respond(path PathKind, m CostModel) (Response, error) {
+	if err := m.Validate(); err != nil {
+		return Response{}, err
+	}
+	var steps []StageCost
+	switch path {
+	case GuidelinePath:
+		steps = []StageCost{
+			{"threat analysis update", m.ThreatAnalysis},
+			{"hardware/software redesign", m.Redesign},
+			{"reimplementation", m.Reimplementation},
+			{"regression testing & certification", m.RegressionTest},
+			{"product recall / full image rollout", m.RecallOrUpdate},
+		}
+	case PolicyPath:
+		steps = []StageCost{
+			{"threat analysis update", m.ThreatAnalysis},
+			{"policy derivation", m.PolicyDerivation},
+			{"policy validation", m.PolicyValidation},
+			{"bundle signing", m.PolicySigning},
+			{"policy distribution", m.PolicyDistribution},
+		}
+	default:
+		return Response{}, fmt.Errorf("%w: %d", ErrUnknownPath, path)
+	}
+	var total time.Duration
+	for _, s := range steps {
+		total += s.Duration
+	}
+	return Response{Path: path, Steps: steps, Total: total}, nil
+}
+
+// Comparison quantifies the §V-A.3 claim for one cost model.
+type Comparison struct {
+	Guideline Response
+	Policy    Response
+	// Speedup is guideline total over policy total.
+	Speedup float64
+	// ExposureSavings is the exposure-window reduction.
+	ExposureSavings time.Duration
+}
+
+// Compare computes both paths and their ratio.
+func Compare(m CostModel) (Comparison, error) {
+	g, err := Respond(GuidelinePath, m)
+	if err != nil {
+		return Comparison{}, err
+	}
+	p, err := Respond(PolicyPath, m)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Guideline:       g,
+		Policy:          p,
+		Speedup:         float64(g.Total) / float64(p.Total),
+		ExposureSavings: g.Total - p.Total,
+	}, nil
+}
+
+// Exposure estimates the expected number of successful exploitations while
+// a mitigation is pending, given an attack rate (attempts per day) and a
+// per-attempt success probability. It is a deterministic expectation, not a
+// sample.
+func Exposure(window time.Duration, attemptsPerDay, successProb float64) float64 {
+	if attemptsPerDay < 0 || successProb < 0 {
+		return 0
+	}
+	days := float64(window) / float64(Day)
+	return days * attemptsPerDay * successProb
+}
+
+// String renders the response as a step list.
+func (r Response) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s path (total %s):\n", r.Path, FormatDays(r.Total))
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "  %-38s %s\n", s.Name, FormatDays(s.Duration))
+	}
+	return b.String()
+}
+
+// FormatDays renders a duration in days with one decimal.
+func FormatDays(d time.Duration) string {
+	return fmt.Sprintf("%.1fd", float64(d)/float64(Day))
+}

@@ -1,0 +1,158 @@
+package lifecycle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPipelineShape(t *testing.T) {
+	steps := Pipeline()
+	if len(steps) != 11 {
+		t.Fatalf("pipeline has %d steps", len(steps))
+	}
+	// The six threat-modelling stages come first, in Fig. 1 order.
+	want := []string{
+		"Risk assessment", "Identify Assets", "Entry Points",
+		"Threat Identification", "Threat Rating", "Determine countermeasure",
+	}
+	for i, w := range want {
+		if steps[i].Name != w {
+			t.Errorf("step %d = %q, want %q", i, steps[i].Name, w)
+		}
+		if steps[i].Kind != Process {
+			t.Errorf("step %q kind = %v", w, steps[i].Kind)
+		}
+	}
+	// The security model artifact bridges modelling and implementation.
+	if steps[6].Name != "Device security model" || steps[6].Kind != Artifact {
+		t.Errorf("bridge step = %+v", steps[6])
+	}
+	var gates int
+	for _, s := range steps {
+		if s.Kind == Gate {
+			gates++
+		}
+		if s.Detail == "" {
+			t.Errorf("step %q has no detail", s.Name)
+		}
+	}
+	if gates != 1 {
+		t.Errorf("gates = %d, want 1 (compliance)", gates)
+	}
+}
+
+func TestDefaultCostModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelValidation(t *testing.T) {
+	m := DefaultCostModel()
+	m.Redesign = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero duration accepted")
+	}
+	m = DefaultCostModel()
+	m.PolicySigning = -time.Hour
+	if err := m.Validate(); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestRespondPaths(t *testing.T) {
+	m := DefaultCostModel()
+	g, err := Respond(GuidelinePath, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Steps) != 5 {
+		t.Errorf("guideline steps = %d", len(g.Steps))
+	}
+	wantG := m.ThreatAnalysis + m.Redesign + m.Reimplementation + m.RegressionTest + m.RecallOrUpdate
+	if g.Total != wantG {
+		t.Errorf("guideline total = %v, want %v", g.Total, wantG)
+	}
+	p, err := Respond(PolicyPath, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := m.ThreatAnalysis + m.PolicyDerivation + m.PolicyValidation + m.PolicySigning + m.PolicyDistribution
+	if p.Total != wantP {
+		t.Errorf("policy total = %v, want %v", p.Total, wantP)
+	}
+	if _, err := Respond(PathKind(9), m); !errors.Is(err, ErrUnknownPath) {
+		t.Errorf("bad path error = %v", err)
+	}
+	if _, err := Respond(GuidelinePath, CostModel{}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}
+
+// TestPolicyPathIsMuchFaster is the §V-A.3 claim under defaults: the policy
+// update cycle is at least an order of magnitude shorter.
+func TestPolicyPathIsMuchFaster(t *testing.T) {
+	c, err := Compare(DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Speedup < 10 {
+		t.Errorf("speedup = %.1fx, want >= 10x under default costs", c.Speedup)
+	}
+	if c.ExposureSavings != c.Guideline.Total-c.Policy.Total {
+		t.Error("exposure savings inconsistent")
+	}
+}
+
+// TestClaimHoldsAcrossParameterSweep checks the claim is not an artifact of
+// one parameterisation: even with redesign costs shrunk 10x and policy
+// costs grown 3x, the policy path stays faster.
+func TestClaimHoldsAcrossParameterSweep(t *testing.T) {
+	m := DefaultCostModel()
+	m.Redesign /= 10
+	m.Reimplementation /= 10
+	m.RegressionTest /= 10
+	m.RecallOrUpdate /= 10
+	m.PolicyDerivation *= 2
+	m.PolicyValidation *= 2
+	m.PolicySigning *= 2
+	m.PolicyDistribution *= 2
+	c, err := Compare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Speedup <= 1 {
+		t.Errorf("claim inverted under adversarial parameters: %.2fx", c.Speedup)
+	}
+}
+
+func TestExposure(t *testing.T) {
+	if got := Exposure(10*Day, 2, 0.5); got != 10 {
+		t.Errorf("Exposure = %v, want 10", got)
+	}
+	if got := Exposure(Day/2, 4, 1); got != 2 {
+		t.Errorf("Exposure = %v, want 2", got)
+	}
+	if Exposure(Day, -1, 0.5) != 0 || Exposure(Day, 1, -0.5) != 0 {
+		t.Error("negative inputs must yield 0")
+	}
+}
+
+func TestResponseString(t *testing.T) {
+	r, err := Respond(PolicyPath, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	if !strings.Contains(s, "policy path") || !strings.Contains(s, "bundle signing") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestFormatDays(t *testing.T) {
+	if got := FormatDays(36 * time.Hour); got != "1.5d" {
+		t.Errorf("FormatDays = %q", got)
+	}
+}

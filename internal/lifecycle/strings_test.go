@@ -1,0 +1,48 @@
+package lifecycle
+
+import "testing"
+
+func TestStepKindStrings(t *testing.T) {
+	tests := []struct {
+		kind StepKind
+		want string
+	}{
+		{Process, "process"},
+		{Artifact, "artifact"},
+		{Gate, "gate"},
+		{StepKind(0), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("StepKind(%d) = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestPathKindStrings(t *testing.T) {
+	tests := []struct {
+		path PathKind
+		want string
+	}{
+		{GuidelinePath, "guideline"},
+		{PolicyPath, "policy"},
+		{PathKind(0), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.path.String(); got != tt.want {
+			t.Errorf("PathKind(%d) = %q, want %q", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestCompareErrorPropagation(t *testing.T) {
+	if _, err := Compare(CostModel{}); err == nil {
+		t.Error("Compare accepted an invalid cost model")
+	}
+	// A model valid for one path but broken for the other still fails.
+	m := DefaultCostModel()
+	m.PolicyDistribution = 0
+	if _, err := Compare(m); err == nil {
+		t.Error("Compare accepted a model with a zero policy stage")
+	}
+}

@@ -1,0 +1,399 @@
+// Package mac implements a minimal SELinux-style mandatory access control
+// server: security contexts, type-enforcement allow rules grouped into
+// loadable modules, an access-vector cache (AVC), enforcing/permissive
+// modes and an audit log.
+//
+// The paper (§V-B.1) positions SELinux as the software half of policy
+// enforcement — "checking application permission boundaries and identifying
+// anomalous behaviour" — and argues a hardware engine is needed because
+// software enforcement falls with the kernel. That failure mode is modelled
+// explicitly by CompromiseKernel, which the attack harness uses to show the
+// software layer being bypassed while the HPE keeps filtering.
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Context is an SELinux-style security context (user:role:type). Only the
+// type field participates in type enforcement, as in SELinux targeted policy.
+type Context struct {
+	User string
+	Role string
+	Type string
+}
+
+// ParseContext reads "user:role:type" notation.
+func ParseContext(s string) (Context, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Context{}, fmt.Errorf("mac: context %q must be user:role:type", s)
+	}
+	for i, p := range parts {
+		if strings.TrimSpace(p) == "" {
+			return Context{}, fmt.Errorf("mac: empty field %d in context %q", i, s)
+		}
+	}
+	return Context{User: parts[0], Role: parts[1], Type: parts[2]}, nil
+}
+
+// MustParseContext is ParseContext that panics on error, for static tables.
+func MustParseContext(s string) Context {
+	c, err := ParseContext(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String renders "user:role:type".
+func (c Context) String() string { return c.User + ":" + c.Role + ":" + c.Type }
+
+// Class is an object class (process, file, can_socket, ...).
+type Class string
+
+// Permission is a class-specific permission name (read, write, exec, ...).
+type Permission string
+
+// AllowRule grants permissions from a source type to a target type on one
+// object class: allow srcType tgtType : class { perms }.
+type AllowRule struct {
+	SourceType string
+	TargetType string
+	Class      Class
+	Perms      []Permission
+}
+
+// Validate checks all fields are populated.
+func (r AllowRule) Validate() error {
+	if r.SourceType == "" || r.TargetType == "" || r.Class == "" || len(r.Perms) == 0 {
+		return fmt.Errorf("mac: incomplete allow rule %+v", r)
+	}
+	return nil
+}
+
+// String renders SELinux allow-rule syntax.
+func (r AllowRule) String() string {
+	perms := make([]string, len(r.Perms))
+	for i, p := range r.Perms {
+		perms[i] = string(p)
+	}
+	sort.Strings(perms)
+	return fmt.Sprintf("allow %s %s : %s { %s }",
+		r.SourceType, r.TargetType, r.Class, strings.Join(perms, " "))
+}
+
+// Module is a named, versioned group of allow rules that can be loaded and
+// unloaded at runtime — the modular policy deployment of §V-B.1.
+type Module struct {
+	Name    string
+	Version uint64
+	Rules   []AllowRule
+}
+
+// Validate checks the module and its rules.
+func (m *Module) Validate() error {
+	if strings.TrimSpace(m.Name) == "" {
+		return errors.New("mac: module has no name")
+	}
+	for i, r := range m.Rules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("mac: module %q rule %d: %w", m.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// EnforceMode selects how denials are handled.
+type EnforceMode uint8
+
+// Enforcement modes.
+const (
+	// Enforcing blocks denied accesses.
+	Enforcing EnforceMode = iota + 1
+	// Permissive logs denials but allows the access (SELinux permissive).
+	Permissive
+)
+
+// String returns the mode name.
+func (m EnforceMode) String() string {
+	switch m {
+	case Enforcing:
+		return "enforcing"
+	case Permissive:
+		return "permissive"
+	default:
+		return "invalid"
+	}
+}
+
+// Decision is the outcome of one access check.
+type Decision struct {
+	// Allowed reports whether the access may proceed.
+	Allowed bool
+	// Granted reports whether policy granted the access (differs from
+	// Allowed under permissive mode or kernel compromise).
+	Granted bool
+	// Bypassed reports the check was skipped due to kernel compromise.
+	Bypassed bool
+}
+
+// AuditRecord is one entry in the audit log.
+type AuditRecord struct {
+	Seq     uint64
+	Source  Context
+	Target  Context
+	Class   Class
+	Perm    Permission
+	Allowed bool
+	Reason  string
+}
+
+// String renders an auditd-like line.
+func (a AuditRecord) String() string {
+	verb := "denied"
+	if a.Allowed {
+		verb = "granted"
+	}
+	return fmt.Sprintf("avc[%d]: %s { %s } for scontext=%s tcontext=%s tclass=%s %s",
+		a.Seq, verb, a.Perm, a.Source, a.Target, a.Class, a.Reason)
+}
+
+// avcKey indexes the access-vector cache.
+type avcKey struct {
+	src, tgt string
+	class    Class
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Checks    uint64
+	Granted   uint64
+	Denied    uint64
+	Bypassed  uint64
+	AVCHits   uint64
+	AVCMisses uint64
+	Loads     uint64
+	Unloads   uint64
+}
+
+// Server is the MAC policy server. The zero value is unusable; construct
+// with NewServer.
+type Server struct {
+	mu          sync.Mutex
+	modules     map[string]*Module
+	mode        EnforceMode
+	avc         map[avcKey]map[Permission]bool
+	avcEnabled  bool
+	avcCap      int
+	compromised bool
+	audit       []AuditRecord
+	auditCap    int
+	seq         uint64
+	stats       Stats
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMode sets the initial enforcement mode (default Enforcing).
+func WithMode(m EnforceMode) Option { return func(s *Server) { s.mode = m } }
+
+// WithAVC enables or disables the access-vector cache (default enabled).
+func WithAVC(enabled bool) Option { return func(s *Server) { s.avcEnabled = enabled } }
+
+// WithAVCCapacity bounds the AVC entry count (default 4096).
+func WithAVCCapacity(n int) Option { return func(s *Server) { s.avcCap = n } }
+
+// WithAuditCapacity bounds the in-memory audit ring (default 1024).
+func WithAuditCapacity(n int) Option { return func(s *Server) { s.auditCap = n } }
+
+// NewServer creates a MAC server with no modules loaded. With no modules
+// every access is denied: type enforcement is default-deny, like the
+// policy engine.
+func NewServer(opts ...Option) *Server {
+	s := &Server{
+		modules:    map[string]*Module{},
+		mode:       Enforcing,
+		avc:        map[avcKey]map[Permission]bool{},
+		avcEnabled: true,
+		avcCap:     4096,
+		auditCap:   1024,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Mode returns the current enforcement mode.
+func (s *Server) Mode() EnforceMode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+// SetMode switches between enforcing and permissive.
+func (s *Server) SetMode(m EnforceMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mode = m
+}
+
+// Load installs or upgrades a module and invalidates the AVC.
+// Upgrading requires a strictly newer version.
+func (s *Server) Load(m *Module) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.modules[m.Name]; ok && m.Version <= old.Version {
+		return fmt.Errorf("mac: module %q version %d not newer than loaded %d",
+			m.Name, m.Version, old.Version)
+	}
+	cp := *m
+	cp.Rules = append([]AllowRule(nil), m.Rules...)
+	s.modules[m.Name] = &cp
+	s.avc = map[avcKey]map[Permission]bool{}
+	s.stats.Loads++
+	return nil
+}
+
+// Unload removes a module and invalidates the AVC.
+func (s *Server) Unload(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.modules[name]; !ok {
+		return false
+	}
+	delete(s.modules, name)
+	s.avc = map[avcKey]map[Permission]bool{}
+	s.stats.Unloads++
+	return true
+}
+
+// Modules returns the loaded module names, sorted.
+func (s *Server) Modules() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.modules))
+	for n := range s.modules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CompromiseKernel models the firmware/kernel compromise of §V-B.2: all
+// subsequent checks are bypassed (allowed without consulting policy), the
+// way a rooted kernel no longer enforces its own LSM hooks.
+func (s *Server) CompromiseKernel() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compromised = true
+}
+
+// Compromised reports whether the kernel-compromise injection is active.
+func (s *Server) Compromised() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compromised
+}
+
+// Restore clears the compromise injection (re-flash / reboot from clean image).
+func (s *Server) Restore() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compromised = false
+}
+
+// Check evaluates one access. It consults the AVC first, then scans loaded
+// modules; the result is cached. Audit records are appended for denials and
+// for bypassed checks.
+func (s *Server) Check(src, tgt Context, class Class, perm Permission) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Checks++
+	if s.compromised {
+		s.stats.Bypassed++
+		s.auditLocked(src, tgt, class, perm, true, "bypassed: kernel compromised")
+		return Decision{Allowed: true, Granted: false, Bypassed: true}
+	}
+	granted := s.lookupLocked(src.Type, tgt.Type, class, perm)
+	allowed := granted
+	reason := ""
+	if !granted {
+		s.stats.Denied++
+		if s.mode == Permissive {
+			allowed = true
+			reason = "permissive"
+		}
+		s.auditLocked(src, tgt, class, perm, allowed, reason)
+	} else {
+		s.stats.Granted++
+	}
+	return Decision{Allowed: allowed, Granted: granted}
+}
+
+// lookupLocked resolves a permission, using the AVC when enabled.
+func (s *Server) lookupLocked(srcType, tgtType string, class Class, perm Permission) bool {
+	key := avcKey{src: srcType, tgt: tgtType, class: class}
+	if s.avcEnabled {
+		if perms, ok := s.avc[key]; ok {
+			s.stats.AVCHits++
+			return perms[perm]
+		}
+		s.stats.AVCMisses++
+	}
+	perms := map[Permission]bool{}
+	for _, m := range s.modules {
+		for _, r := range m.Rules {
+			if r.SourceType == srcType && r.TargetType == tgtType && r.Class == class {
+				for _, p := range r.Perms {
+					perms[p] = true
+				}
+			}
+		}
+	}
+	if s.avcEnabled {
+		if len(s.avc) >= s.avcCap {
+			// Full cache: drop it entirely. Real AVCs evict LRU; wholesale
+			// invalidation keeps the model simple and still bounded.
+			s.avc = map[avcKey]map[Permission]bool{}
+		}
+		s.avc[key] = perms
+	}
+	return perms[perm]
+}
+
+func (s *Server) auditLocked(src, tgt Context, class Class, perm Permission, allowed bool, reason string) {
+	s.seq++
+	rec := AuditRecord{
+		Seq: s.seq, Source: src, Target: tgt,
+		Class: class, Perm: perm, Allowed: allowed, Reason: reason,
+	}
+	if len(s.audit) >= s.auditCap {
+		copy(s.audit, s.audit[1:])
+		s.audit = s.audit[:len(s.audit)-1]
+	}
+	s.audit = append(s.audit, rec)
+}
+
+// Audit returns a copy of the audit log (oldest first).
+func (s *Server) Audit() []AuditRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]AuditRecord(nil), s.audit...)
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffSetsGrantAndRevoke(t *testing.T) {
+	oldSet := MustParse(`policy "p" version 1 {
+  allow read 0x100 at ecu
+  allow write 0x200 at sensors in Normal
+}`)
+	newSet := MustParse(`policy "p" version 2 {
+  allow read 0x100, 0x101 at ecu
+}`)
+	d, err := DiffSets(oldSet, newSet, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Granted) != 1 || d.Granted[0] != (Access{"ecu", "Normal", ActRead, 0x101}) {
+		t.Errorf("Granted = %v", d.Granted)
+	}
+	if len(d.Revoked) != 1 || d.Revoked[0] != (Access{"sensors", "Normal", ActWrite, 0x200}) {
+		t.Errorf("Revoked = %v", d.Revoked)
+	}
+	out := d.String()
+	if !strings.Contains(out, "+ ecu Normal R 0x101") || !strings.Contains(out, "- sensors Normal W 0x200") {
+		t.Errorf("rendering = %q", out)
+	}
+}
+
+func TestDiffSetsSemanticNotTextual(t *testing.T) {
+	// Two textually different but semantically identical sets diff empty.
+	a := MustParse(`policy "p" version 1 {
+  allow read 0x100..0x102 at ecu
+}`)
+	b := MustParse(`policy "p" version 2 {
+  allow read 0x100 at ecu
+  allow read 0x101, 0x102 at ecu
+}`)
+	d, err := DiffSets(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Errorf("semantically equal sets diff non-empty: %s", d)
+	}
+	if !strings.Contains(d.String(), "no semantic changes") {
+		t.Errorf("empty diff rendering = %q", d.String())
+	}
+}
+
+func TestDiffSetsDenyOverridesShowAsRevocation(t *testing.T) {
+	a := MustParse(`policy "p" version 1 {
+  allow readwrite 0x10 at n
+}`)
+	b := MustParse(`policy "p" version 2 {
+  allow readwrite 0x10 at n
+  deny write 0x10 at n
+}`)
+	d, err := DiffSets(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Revoked) != 1 || d.Revoked[0].Action != ActWrite {
+		t.Errorf("Revoked = %v", d.Revoked)
+	}
+	if len(d.Granted) != 0 {
+		t.Errorf("Granted = %v", d.Granted)
+	}
+}
+
+func TestDiffSetsModeScoping(t *testing.T) {
+	a := MustParse(`policy "p" version 1 {
+  allow read 0x10 at n
+}`)
+	b := MustParse(`policy "p" version 2 {
+  allow read 0x10 at n in Diag
+}`)
+	// Narrowing an all-modes rule to one mode revokes it in other modes.
+	d, err := DiffSets(a, b, DiffOptions{Modes: []Mode{"Normal", "Diag"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Revoked) != 1 || d.Revoked[0].Mode != "Normal" {
+		t.Errorf("Revoked = %v", d.Revoked)
+	}
+	if len(d.Granted) != 0 {
+		t.Errorf("Granted = %v", d.Granted)
+	}
+}
+
+func TestDiffSetsLimit(t *testing.T) {
+	a := MustParse(`policy "p" version 1 { allow read 0..200 at n }`)
+	b := MustParse(`policy "p" version 2 { allow read 0..200 at n }`)
+	if _, err := DiffSets(a, b, DiffOptions{Limit: 50}); err == nil {
+		t.Error("limit not enforced")
+	}
+}
+
+func TestDiffSetsValidation(t *testing.T) {
+	bad := &Set{Name: "", Version: 1}
+	good := MustParse(`policy "p" version 1 { allow read 1 at n }`)
+	if _, err := DiffSets(bad, good, DiffOptions{}); err == nil {
+		t.Error("invalid old set accepted")
+	}
+	if _, err := DiffSets(good, bad, DiffOptions{}); err == nil {
+		t.Error("invalid new set accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package policy
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the DSL parser: it must never panic,
+// and any document it accepts must render (String) and re-parse to a set
+// with identical semantics on a probe grid.
+func FuzzParse(f *testing.F) {
+	f.Add(`policy "p" version 1 { allow read 1 at x }`)
+	f.Add(sampleDSL)
+	f.Add(`policy "p" version 1 { default deny mode A { deny write 0x10..0x20 at * } }`)
+	f.Add(`policy "" version 0 {}`)
+	f.Add("policy \"p\" version 1 {\n# comment\n}")
+	f.Add(`policy "p" version 18446744073709551615 { allow readwrite 0xFFFFFFFF at "q z" as "n" }`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		set, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := set.String()
+		set2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted policy does not re-parse: %v\n--- source ---\n%s\n--- rendered ---\n%s",
+				err, src, rendered)
+		}
+		if set2.Name != set.Name || set2.Version != set.Version ||
+			len(set2.Rules) != len(set.Rules) {
+			t.Fatalf("render round trip changed header/rule count")
+		}
+		// Semantics probe over the subjects and modes the set mentions,
+		// plus a ghost subject and mode.
+		subjects := append(set.Subjects(), "ghost-subject")
+		modes := append(set.Modes(), "ghost-mode")
+		var ids []uint32
+		for _, r := range set.Rules {
+			for _, rng := range r.IDs {
+				ids = append(ids, rng.Lo, rng.Hi)
+			}
+		}
+		ids = append(ids, 0, 0x7FF)
+		for _, subj := range subjects {
+			for _, mode := range modes {
+				for _, id := range ids {
+					for _, act := range []Action{ActRead, ActWrite} {
+						if set.Decide(subj, mode, act, id) != set2.Decide(subj, mode, act, id) {
+							t.Fatalf("render round trip changed semantics at %s/%s/%v/0x%X",
+								subj, mode, act, id)
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON is the machine-facing interchange format for policy sets, used where
+// tooling (fleet dashboards, audit pipelines) wants structured data rather
+// than the human-facing DSL. Both formats describe the same model and
+// convert losslessly; the signed distribution unit remains the DSL inside
+// a Bundle.
+
+// jsonRule mirrors Rule with wire-friendly field types.
+type jsonRule struct {
+	Name    string      `json:"name,omitempty"`
+	Subject string      `json:"subject"`
+	Effect  string      `json:"effect"`
+	Action  string      `json:"action"`
+	IDs     [][2]uint32 `json:"ids"`
+	Modes   []string    `json:"modes,omitempty"`
+}
+
+// jsonSet mirrors Set.
+type jsonSet struct {
+	Name    string     `json:"name"`
+	Version uint64     `json:"version"`
+	Default string     `json:"default"` // always "deny"; serialized for self-description
+	Rules   []jsonRule `json:"rules"`
+}
+
+// MarshalJSON implements json.Marshaler for Set.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := jsonSet{Name: s.Name, Version: s.Version, Default: "deny"}
+	for _, r := range s.Rules {
+		jr := jsonRule{
+			Name:    r.Name,
+			Subject: r.Subject,
+			Effect:  r.Effect.String(),
+			Action:  r.Action.String(),
+			Modes:   r.Modes.Names(),
+		}
+		for _, rng := range r.IDs {
+			jr.IDs = append(jr.IDs, [2]uint32{rng.Lo, rng.Hi})
+		}
+		out.Rules = append(out.Rules, jr)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Set.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var in jsonSet
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("policy: bad json set: %w", err)
+	}
+	if in.Default != "" && in.Default != "deny" {
+		return fmt.Errorf("policy: unsupported default %q: the model is closed-world", in.Default)
+	}
+	out := Set{Name: in.Name, Version: in.Version}
+	for i, jr := range in.Rules {
+		r := Rule{Name: jr.Name, Subject: jr.Subject}
+		switch jr.Effect {
+		case "allow":
+			r.Effect = Allow
+		case "deny":
+			r.Effect = Deny
+		default:
+			return fmt.Errorf("policy: rule %d: unknown effect %q", i, jr.Effect)
+		}
+		act, err := ParseAction(jr.Action)
+		if err != nil {
+			return fmt.Errorf("policy: rule %d: %w", i, err)
+		}
+		r.Action = act
+		for _, pair := range jr.IDs {
+			r.IDs = append(r.IDs, IDRange{Lo: pair[0], Hi: pair[1]})
+		}
+		if len(jr.Modes) > 0 {
+			r.Modes = ModeSet{}
+			for _, m := range jr.Modes {
+				r.Modes = r.Modes.Add(Mode(m))
+			}
+		}
+		out.Rules = append(out.Rules, r)
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}

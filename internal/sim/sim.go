@@ -1,0 +1,159 @@
+// Package sim provides a deterministic discrete-event simulation kernel used
+// by the CAN bus substrate and the attack harness.
+//
+// A Scheduler owns a virtual clock and a priority queue of timed events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which keeps simulations fully deterministic: two runs with the
+// same seed and the same schedule produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual instant.
+type Event func(now time.Duration)
+
+// item is a scheduled event inside the heap.
+type item struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker: schedule order
+	fn   Event
+	dead bool // cancelled
+	idx  int  // heap index, maintained by eventHeap
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ it *item }
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.it != nil {
+		h.it.dead = true
+	}
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler is a discrete-event scheduler with a virtual clock.
+// The zero value is ready to use.
+type Scheduler struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// ErrPast is returned when an event is scheduled before the current virtual time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Steps returns the number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute virtual time at.
+// It panics with ErrPast if at precedes the current time.
+func (s *Scheduler) At(at time.Duration, fn Event) Handle {
+	if at < s.now {
+		panic(fmt.Errorf("%w: at=%v now=%v", ErrPast, at, s.now))
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, it)
+	return Handle{it: it}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn Event) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the single next event, advancing the clock to its timestamp.
+// It returns false when no runnable events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		it := heap.Pop(&s.events).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		s.steps++
+		it.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	for len(s.events) > 0 {
+		// Peek without popping.
+		next := s.events[0]
+		if next.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunSteps executes at most n events and reports how many actually ran.
+func (s *Scheduler) RunSteps(n int) int {
+	ran := 0
+	for ran < n && s.Step() {
+		ran++
+	}
+	return ran
+}

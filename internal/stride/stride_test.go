@@ -1,0 +1,158 @@
+package stride
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetStringCanonicalOrder(t *testing.T) {
+	tests := []struct {
+		set  Set
+		want string
+	}{
+		{NewSet(), "-"},
+		{NewSet(Spoofing), "S"},
+		{NewSet(ElevationOfPrivilege, Spoofing), "SE"},
+		{NewSet(DenialOfService, Tampering, Spoofing), "STD"},
+		{NewSet(Spoofing, Tampering, InformationDisclosure, DenialOfService, ElevationOfPrivilege), "STIDE"},
+		{NewSet(Tampering, InformationDisclosure, ElevationOfPrivilege), "TIE"},
+		{NewSet(Tampering, DenialOfService, ElevationOfPrivilege), "TDE"},
+		{NewSet(Spoofing, Tampering, Repudiation), "STR"},
+		{NewSet(Tampering, ElevationOfPrivilege), "TE"},
+		{NewSet(Spoofing, Tampering, Repudiation, InformationDisclosure, DenialOfService, ElevationOfPrivilege), "STRIDE"},
+	}
+	for _, tt := range tests {
+		if got := tt.set.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"S", "STD", "STIDE", "TIE", "TDE", "STR", "TE", "SD", "STE", "STRIDE", "-"} {
+		set, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := set.String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveAndDuplicates(t *testing.T) {
+	a := MustParse("std")
+	b := MustParse("SSTTDD")
+	c := MustParse("STD")
+	if a != c || b != c {
+		t.Errorf("case/duplicate folding failed: %v %v %v", a, b, c)
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	if _, err := Parse("SXD"); err == nil {
+		t.Error("Parse accepted unknown letter")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("Z")
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet(Spoofing, Tampering)
+	if !s.Has(Spoofing) || !s.Has(Tampering) || s.Has(Repudiation) {
+		t.Error("Has is wrong")
+	}
+	s = s.Add(DenialOfService)
+	if !s.Has(DenialOfService) {
+		t.Error("Add failed")
+	}
+	s = s.Remove(Spoofing)
+	if s.Has(Spoofing) {
+		t.Error("Remove failed")
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	u := NewSet(Spoofing).Union(NewSet(Tampering))
+	if u.String() != "ST" {
+		t.Errorf("Union = %v", u)
+	}
+	i := NewSet(Spoofing, Tampering).Intersect(NewSet(Tampering, Repudiation))
+	if i.String() != "T" {
+		t.Errorf("Intersect = %v", i)
+	}
+}
+
+func TestCategoriesAndNames(t *testing.T) {
+	s := MustParse("SIE")
+	cats := s.Categories()
+	if len(cats) != 3 || cats[0] != Spoofing || cats[1] != InformationDisclosure || cats[2] != ElevationOfPrivilege {
+		t.Errorf("Categories = %v", cats)
+	}
+	names := s.Names()
+	want := []string{"Spoofing", "Information Disclosure", "Elevation of Privilege"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names = %v", names)
+		}
+	}
+}
+
+func TestCategoryLettersUnique(t *testing.T) {
+	seen := map[byte]bool{}
+	for _, c := range All {
+		l := c.Letter()
+		if seen[l] {
+			t.Fatalf("duplicate letter %c", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestClassifyEffectsRoundTrip(t *testing.T) {
+	prop := func(raw uint8) bool {
+		s := Set(raw & 0x3F)
+		return Classify(EffectsOf(s)) == s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyIndividualEffects(t *testing.T) {
+	tests := []struct {
+		effects Effects
+		want    string
+	}{
+		{Effects{ForgesIdentity: true}, "S"},
+		{Effects{ModifiesData: true}, "T"},
+		{Effects{DeniesAction: true}, "R"},
+		{Effects{DisclosesInfo: true}, "I"},
+		{Effects{DisruptsService: true}, "D"},
+		{Effects{EscalatesPrivilege: true}, "E"},
+		{Effects{}, "-"},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.effects).String(); got != tt.want {
+			t.Errorf("Classify(%+v) = %q, want %q", tt.effects, got, tt.want)
+		}
+	}
+}
+
+func TestParseStringRoundTripProperty(t *testing.T) {
+	prop := func(raw uint8) bool {
+		s := Set(raw & 0x3F)
+		parsed, err := Parse(s.String())
+		return err == nil && parsed == s
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

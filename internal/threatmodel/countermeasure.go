@@ -1,0 +1,127 @@
+package threatmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// This file implements the paper's two countermeasure styles:
+//
+//   - Guideline-based (§V-A.1, the traditional approach): a technical
+//     guidance document telling developers what to implement. It cannot be
+//     enforced after deployment; countering a new threat means redesign.
+//   - Policy-based (§V-A.2, the contribution): an enforceable policy set
+//     derived from the same analysis, updatable after deployment.
+
+// Guideline is one entry of a guideline-based security model.
+type Guideline struct {
+	// Component is the design element the guideline addresses.
+	Component string
+	// Text is the guidance given to developers.
+	Text string
+	// Mitigates lists the threat IDs the guideline addresses.
+	Mitigates []string
+}
+
+// String renders "component: text".
+func (g Guideline) String() string { return g.Component + ": " + g.Text }
+
+// GuidelineModel is the traditional security model: a document.
+type GuidelineModel struct {
+	// UseCase names the analysed application.
+	UseCase string
+	// Guidelines in priority order (highest-rated threats first).
+	Guidelines []Guideline
+}
+
+// DeriveGuidelines produces the baseline guideline document from an
+// analysis. Each threat yields design guidance phrased per its vector,
+// mirroring the infotainment examples of §V-A.1.
+func DeriveGuidelines(a *Analysis) *GuidelineModel {
+	out := &GuidelineModel{UseCase: a.UseCase.Name}
+	for _, t := range a.Threats {
+		asset, _ := a.UseCase.Asset(t.Asset)
+		var text string
+		switch t.Vector {
+		case VectorInbound:
+			text = fmt.Sprintf(
+				"validate and restrict inbound messages reaching %s; accept only traffic required in modes %s",
+				t.Asset, modeList(t.Modes))
+		case VectorOutbound:
+			text = fmt.Sprintf(
+				"constrain what %s may transmit; review firmware update and installation paths",
+				t.Asset)
+		default:
+			text = fmt.Sprintf(
+				"isolate %s bidirectionally; limit components with bus access", t.Asset)
+		}
+		out.Guidelines = append(out.Guidelines, Guideline{
+			Component: asset.Node,
+			Text:      text,
+			Mitigates: []string{t.ID},
+		})
+	}
+	return out
+}
+
+func modeList(modes []policy.Mode) string {
+	if len(modes) == 0 {
+		return "all"
+	}
+	parts := make([]string, len(modes))
+	for i, m := range modes {
+		parts[i] = string(m)
+	}
+	return strings.Join(parts, ",")
+}
+
+// DerivePolicies produces the enforceable policy set: the legitimate
+// communication matrix becomes allow rules (closed world, least privilege),
+// so every access a threat would need beyond declared functionality is
+// denied by construction. Rule names record the rationale for audit.
+//
+// version stamps the resulting set; name defaults to the use case name.
+func DerivePolicies(a *Analysis, name string, version uint64) (*policy.Set, error) {
+	if name == "" {
+		name = a.UseCase.Name
+	}
+	set := &policy.Set{Name: name, Version: version}
+	for _, c := range a.UseCase.Comm {
+		r := policy.Rule{
+			Name:    c.Rationale,
+			Subject: c.Subject,
+			Effect:  policy.Allow,
+			Action:  c.Action,
+			IDs:     c.IDs,
+			Modes:   policy.NewModeSet(c.Modes...),
+		}
+		set.Rules = append(set.Rules, r)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Restriction describes the Table I "Policy" column entry for one threat:
+// which direction of the asset's node is tightened by least privilege.
+type Restriction struct {
+	// ThreatID references the rated threat.
+	ThreatID string
+	// Node is the enforcement point.
+	Node string
+	// Action is the tightened direction (R, W or RW).
+	Action policy.Action
+}
+
+// Restrictions derives the per-threat Table I policy column.
+func Restrictions(a *Analysis) []Restriction {
+	out := make([]Restriction, 0, len(a.Threats))
+	for _, t := range a.Threats {
+		asset, _ := a.UseCase.Asset(t.Asset)
+		out = append(out, Restriction{ThreatID: t.ID, Node: asset.Node, Action: t.Policy})
+	}
+	return out
+}
