@@ -8,6 +8,7 @@
 //	F4  BenchmarkFig4HPEDecision           — Fig. 4 decision block
 //	C1  BenchmarkClaimResponseCycle        — §V-A.3 policy-vs-redesign claim
 //	C2  BenchmarkClaimEnforcementRobustness — §V-B.2 firmware-compromise claim
+//	E3  BenchmarkFleetSweep                — fleet engine scaling {1,10,100,1000}
 //
 // plus the DESIGN.md §5 ablations (HPE lookup structure, AVC cache).
 // Domain metrics are attached via b.ReportMetric so `go test -bench` prints
@@ -24,6 +25,7 @@ import (
 	"repro/internal/canbus"
 	"repro/internal/car"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hpe"
 	"repro/internal/lifecycle"
 	"repro/internal/mac"
@@ -423,6 +425,37 @@ func BenchmarkAblationBehaviouralOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFleetSweep (E3) scales the fleet engine across population sizes:
+// every vehicle runs its own scheduler/bus/car/HPE stack plus a reduced
+// Table I matrix, on a bounded worker pool. The metric is wall-clock
+// vehicles per second, the fleet engine's throughput unit.
+func BenchmarkFleetSweep(b *testing.B) {
+	scenarios := attack.Scenarios()[:3]
+	for _, fleetSize := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("fleet=%d", fleetSize), func(b *testing.B) {
+			var fr *engine.FleetReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				fr, err = engine.Run(engine.Config{
+					Fleet:          fleetSize,
+					RootSeed:       42,
+					Scenarios:      scenarios,
+					Regimes:        []attack.Enforcement{attack.EnforceNone, attack.EnforceHPE},
+					TrafficHorizon: 10 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fr.Attacks[1].Summary.BlockRate() != 1.0 {
+					b.Fatal("fleet sweep lost the HPE block-rate invariant")
+				}
+			}
+			b.ReportMetric(float64(fleetSize)*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+			b.ReportMetric(fr.MeanUtilisation*100, "bus_util_%")
+		})
+	}
 }
 
 // BenchmarkBusUnderErrorInjection exercises retransmission economics: the

@@ -1,13 +1,15 @@
 // Command carsim runs the connected-car simulation: it can print the Fig. 2
 // topology and Fig. 3/4 architecture views, replay the sixteen Table I
-// attack scenarios under selectable enforcement regimes, and trace bus
-// activity.
+// attack scenarios under selectable enforcement regimes, trace bus
+// activity, and sweep a whole fleet of independent vehicle simulations
+// across a bounded worker pool.
 //
 // Usage:
 //
 //	carsim -print-topology
 //	carsim -attack all -enforcement none,software,hpe
 //	carsim -attack EVECU-1 -enforcement hpe -trace
+//	carsim -fleet 100 -workers 8 -seed 42
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/canbus"
 	"repro/internal/car"
+	"repro/internal/engine"
 	"repro/internal/hpe"
 	"repro/internal/report"
 )
@@ -31,15 +34,18 @@ func main() {
 	enforcement := flag.String("enforcement", "none,hpe", "comma-separated regimes: none, software, hpe")
 	trace := flag.Bool("trace", false, "print bus trace events during attacks")
 	latency := flag.Bool("latency", false, "run the differing-criticality latency experiment (E1)")
+	fleetSize := flag.Int("fleet", 0, "sweep N independent vehicle simulations and print the merged fleet report")
+	workers := flag.Int("workers", 0, "bound the fleet worker pool (default GOMAXPROCS)")
+	seed := flag.Uint64("seed", 1, "root seed for deterministic per-vehicle seed derivation")
 	flag.Parse()
 
-	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace); err != nil {
+	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool) error {
+func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64) error {
 	if topology {
 		fmt.Print(report.Topology())
 		return nil
@@ -54,11 +60,34 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 	if latency {
 		return runLatency()
 	}
+	if fleetSize > 0 {
+		return runFleet(fleetSize, workers, seed, enforcement)
+	}
 	if attackSel == "" {
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency or -attack")
+		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency, -fleet or -attack")
 	}
 	return runAttacks(attackSel, enforcement, trace)
+}
+
+// runFleet sweeps the Table I matrix across a simulated fleet and prints the
+// merged report.
+func runFleet(fleetSize, workers int, seed uint64, enforcement string) error {
+	regimes, err := parseRegimes(enforcement)
+	if err != nil {
+		return err
+	}
+	fr, err := engine.Run(engine.Config{
+		Fleet:    fleetSize,
+		Workers:  workers,
+		RootSeed: seed,
+		Regimes:  regimes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(fr)
+	return nil
 }
 
 // runLatency executes the E1 experiment matrix: {quiet, flood} x {none, hpe}.

@@ -21,6 +21,10 @@
 //   - internal/lifecycle — Fig. 1 life-cycle and response-cycle economics
 //   - internal/report    — table and figure renderers
 //   - internal/core      — the paper's contribution glued end to end
+//   - internal/fleet     — §V-A.2 staged policy rollout (canary, abort)
+//   - internal/engine    — fleet-scale simulation engine: N independent
+//     vehicles (scheduler + bus + car + HPE/MAC each) on a bounded worker
+//     pool with deterministic per-vehicle seeds and merged reports
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see DESIGN.md for the experiment index and

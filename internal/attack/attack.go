@@ -301,15 +301,9 @@ func (h *Harness) probeLegitimate(c *car.Car) bool {
 
 // RunAll executes every scenario under every requested regime.
 func (h *Harness) RunAll(scenarios []Scenario, regimes ...Enforcement) ([]Result, error) {
-	out := make([]Result, 0, len(scenarios)*len(regimes))
-	for _, sc := range scenarios {
-		for _, enf := range regimes {
-			r, err := h.Run(sc, enf)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, r)
-		}
+	m, err := h.RunMatrix(scenarios, regimes...)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return m.Results, nil
 }

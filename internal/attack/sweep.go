@@ -1,0 +1,145 @@
+package attack
+
+import "fmt"
+
+// This file implements the fleet-facing side of the harness: one vehicle's
+// full Table I scenario matrix, swept across enforcement regimes, reduced to
+// aggregate success/blocked rates that the fleet engine (internal/engine)
+// merges across a vehicle population.
+
+// Summary reduces a set of Results to aggregate rates.
+type Summary struct {
+	// Runs counts scenario executions.
+	Runs int
+	// Succeeded counts runs where the attack achieved its effect.
+	Succeeded int
+	// Blocked counts runs where the attack was stopped AND the functional
+	// probe still passed (the paper's success criterion for the defence).
+	Blocked int
+	// FalsePositives counts runs where enforcement broke legitimate traffic.
+	FalsePositives int
+	// Injected totals malicious frames attempted.
+	Injected int
+	// WriteBlocked and ReadBlocked total frames stopped at write/read filters.
+	WriteBlocked uint64
+	// ReadBlocked totals frames stopped at victims' read filters.
+	ReadBlocked uint64
+}
+
+// Add folds one result into the summary.
+func (s *Summary) Add(r Result) {
+	s.Runs++
+	s.Injected += r.Injected
+	s.WriteBlocked += r.WriteBlocked
+	s.ReadBlocked += r.ReadBlocked
+	switch {
+	case r.Succeeded:
+		s.Succeeded++
+	case r.LegitimateOK:
+		s.Blocked++
+	default:
+		s.FalsePositives++
+	}
+}
+
+// Merge folds another summary into this one (used fleet-wide).
+func (s *Summary) Merge(o Summary) {
+	s.Runs += o.Runs
+	s.Succeeded += o.Succeeded
+	s.Blocked += o.Blocked
+	s.FalsePositives += o.FalsePositives
+	s.Injected += o.Injected
+	s.WriteBlocked += o.WriteBlocked
+	s.ReadBlocked += o.ReadBlocked
+}
+
+// SuccessRate returns attacks succeeded over runs (0 for no runs).
+func (s Summary) SuccessRate() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Succeeded) / float64(s.Runs)
+}
+
+// BlockRate returns clean blocks over runs (0 for no runs).
+func (s Summary) BlockRate() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Runs)
+}
+
+// String renders the aggregate in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("runs=%d succeeded=%d blocked=%d falsepos=%d injected=%d wblk=%d rblk=%d",
+		s.Runs, s.Succeeded, s.Blocked, s.FalsePositives, s.Injected, s.WriteBlocked, s.ReadBlocked)
+}
+
+// Summarize reduces results to a Summary.
+func Summarize(results []Result) Summary {
+	var s Summary
+	for _, r := range results {
+		s.Add(r)
+	}
+	return s
+}
+
+// RegimeSummary pairs an enforcement regime with its aggregate outcome.
+type RegimeSummary struct {
+	// Regime is the enforcement configuration summarised.
+	Regime Enforcement
+	// Summary holds the aggregate rates for that regime.
+	Summary Summary
+}
+
+// Matrix is the outcome of one vehicle's scenario x regime sweep. Regime
+// summaries are kept in the sweep's regime order (never a map), so rendering
+// a Matrix is deterministic and fleet merges stay byte-stable.
+type Matrix struct {
+	// Results holds every run in scenario-major, regime-minor order.
+	Results []Result
+	// Regimes holds one aggregate per regime, in sweep order.
+	Regimes []RegimeSummary
+}
+
+// Summary returns the whole-matrix aggregate across all regimes.
+func (m Matrix) Summary() Summary {
+	var s Summary
+	for _, rs := range m.Regimes {
+		s.Merge(rs.Summary)
+	}
+	return s
+}
+
+// WithSeed returns a copy of the harness whose simulations run with the
+// given seed. The compiled policy and cycle model are shared (both are
+// immutable after construction), so deriving a per-vehicle harness is cheap
+// enough to do once per vehicle in a fleet sweep.
+func (h *Harness) WithSeed(seed uint64) *Harness {
+	c := *h
+	c.Seed = seed
+	return &c
+}
+
+// RunMatrix executes every scenario under every requested regime and returns
+// per-regime aggregates alongside the raw results.
+func (h *Harness) RunMatrix(scenarios []Scenario, regimes ...Enforcement) (Matrix, error) {
+	m := Matrix{
+		Results: make([]Result, 0, len(scenarios)*len(regimes)),
+		Regimes: make([]RegimeSummary, len(regimes)),
+	}
+	for i, enf := range regimes {
+		m.Regimes[i].Regime = enf
+	}
+	for _, sc := range scenarios {
+		for i, enf := range regimes {
+			r, err := h.Run(sc, enf)
+			if err != nil {
+				return Matrix{}, err
+			}
+			m.Results = append(m.Results, r)
+			m.Regimes[i].Summary.Add(r)
+		}
+	}
+	return m, nil
+}

@@ -3,7 +3,7 @@ package canbus
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -34,6 +34,9 @@ const (
 	TraceReadBlocked
 	// TraceBusOff marks a node entering bus-off.
 	TraceBusOff
+	// TraceTxAborted marks a transmission abandoned because the transmitter
+	// was detached mid-frame.
+	TraceTxAborted
 )
 
 // String returns the event kind name.
@@ -51,6 +54,8 @@ func (k TraceEventKind) String() string {
 		return "read-blocked"
 	case TraceBusOff:
 		return "bus-off"
+	case TraceTxAborted:
+		return "tx-aborted"
 	default:
 		return "invalid"
 	}
@@ -79,6 +84,8 @@ type BusStats struct {
 	WriteBlocked uint64
 	// ReadBlocked counts inbound filter blocks across all nodes.
 	ReadBlocked uint64
+	// AbortedTx counts transmissions abandoned by a mid-frame detach.
+	AbortedTx uint64
 	// BusyTime is the cumulative virtual time the bus carried bits.
 	BusyTime time.Duration
 }
@@ -98,18 +105,51 @@ type Config struct {
 // every successfully transmitted frame except the sender; when several nodes
 // contend, the lowest arbitration value (highest priority) wins, and losers
 // retry, as on a real CSMA/CR bus.
+//
+// # Ownership model
+//
+// A Bus and its Nodes follow a single-owner execution model: every mutating
+// call (Send, Attach, Detach, SetTracer, the scheduler-driven arbitration
+// and delivery machinery) must happen on the goroutine that drives the
+// owning sim.Scheduler. Because a Scheduler is strictly single-goroutine,
+// the hot path carries no locks at all. The only cross-goroutine facade is
+// Stats(), whose counters are maintained with atomics so a monitor (or the
+// fleet engine's merger) can snapshot a bus owned by another worker.
 type Bus struct {
 	sched   *sim.Scheduler
 	bitTime time.Duration
 	errRate float64
 	rng     *sim.RNG
 
-	mu     sync.Mutex
 	nodes  []*Node
 	byName map[string]*Node
 	busy   bool
-	stats  BusStats
 	tracer func(TraceEvent)
+
+	// In-flight transmission, valid while busy. Storing it on the bus (one
+	// transmission can be in flight at a time) lets arbitrate reuse the two
+	// pre-bound events below instead of allocating a closure per frame.
+	txNode   *Node
+	txFrame  Frame
+	txFailed bool
+
+	kickEvent     sim.Event // runs arbitrate
+	deferredKick  sim.Event // runs kick (one extra hop: see complete's error path)
+	completeEvent sim.Event // runs complete
+	rxScratch     []*Node   // reusable receiver snapshot for delivery
+
+	stats busCounters
+}
+
+// busCounters is the atomic backing store for BusStats; see Bus ownership
+// model.
+type busCounters struct {
+	framesDelivered atomic.Uint64
+	errors          atomic.Uint64
+	writeBlocked    atomic.Uint64
+	readBlocked     atomic.Uint64
+	abortedTx       atomic.Uint64
+	busyTime        atomic.Int64 // nanoseconds
 }
 
 // New creates a bus driven by the given scheduler.
@@ -118,13 +158,17 @@ func New(sched *sim.Scheduler, cfg Config) *Bus {
 	if rate <= 0 {
 		rate = DefaultBitRate
 	}
-	return &Bus{
+	b := &Bus{
 		sched:   sched,
 		bitTime: time.Second / time.Duration(rate),
 		errRate: cfg.ErrorRate,
 		rng:     sim.NewRNG(cfg.Seed),
 		byName:  map[string]*Node{},
 	}
+	b.kickEvent = func(time.Duration) { b.arbitrate() }
+	b.deferredKick = func(time.Duration) { b.kick() }
+	b.completeEvent = func(time.Duration) { b.complete() }
+	return b
 }
 
 // Scheduler returns the simulation scheduler driving this bus.
@@ -134,25 +178,27 @@ func (b *Bus) Scheduler() *sim.Scheduler { return b.sched }
 func (b *Bus) BitTime() time.Duration { return b.bitTime }
 
 // SetTracer installs a callback receiving every TraceEvent. Pass nil to
-// disable tracing.
+// disable tracing. Owner-goroutine only.
 func (b *Bus) SetTracer(fn func(TraceEvent)) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.tracer = fn
 }
 
-// Stats returns a snapshot of the bus counters.
+// Stats returns a snapshot of the bus counters. Safe to call from any
+// goroutine.
 func (b *Bus) Stats() BusStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return BusStats{
+		FramesDelivered: b.stats.framesDelivered.Load(),
+		Errors:          b.stats.errors.Load(),
+		WriteBlocked:    b.stats.writeBlocked.Load(),
+		ReadBlocked:     b.stats.readBlocked.Load(),
+		AbortedTx:       b.stats.abortedTx.Load(),
+		BusyTime:        time.Duration(b.stats.busyTime.Load()),
+	}
 }
 
 // Attach creates a node with the given name and joins it to the bus.
 // Names must be unique per bus.
 func (b *Bus) Attach(name string) (*Node, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if _, dup := b.byName[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
@@ -177,10 +223,10 @@ func (b *Bus) MustAttach(name string) *Node {
 }
 
 // Detach removes a node from the bus (e.g. a malicious node being pulled).
-// The node keeps its statistics but can no longer send or receive.
+// The node keeps its statistics but can no longer send or receive. If the
+// node is mid-transmission, the transmission is abandoned: no delivery
+// happens and the bus frees after the scheduled completion instant.
 func (b *Bus) Detach(name string) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	n, ok := b.byName[name]
 	if !ok {
 		return false
@@ -192,25 +238,19 @@ func (b *Bus) Detach(name string) bool {
 			break
 		}
 	}
-	n.mu.Lock()
 	n.detached = true
 	n.txq = nil
-	n.mu.Unlock()
 	return true
 }
 
 // Node returns the attached node with the given name.
 func (b *Bus) Node(name string) (*Node, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	n, ok := b.byName[name]
 	return n, ok
 }
 
 // Nodes returns the attached nodes sorted by name.
 func (b *Bus) Nodes() []*Node {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	out := append([]*Node(nil), b.nodes...)
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
@@ -223,17 +263,13 @@ func (b *Bus) emit(e TraceEvent) {
 }
 
 func (b *Bus) noteWriteBlocked(n *Node, f Frame) {
-	b.mu.Lock()
-	b.stats.WriteBlocked++
+	b.stats.writeBlocked.Add(1)
 	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceWriteBlocked, Node: n.name, Frame: f})
-	b.mu.Unlock()
 }
 
 func (b *Bus) noteReadBlocked(n *Node, f Frame) {
-	b.mu.Lock()
-	b.stats.ReadBlocked++
+	b.stats.readBlocked.Add(1)
 	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceReadBlocked, Node: n.name, Frame: f})
-	b.mu.Unlock()
 }
 
 // kick schedules an arbitration round at the current virtual instant. The
@@ -241,111 +277,126 @@ func (b *Bus) noteReadBlocked(n *Node, f Frame) {
 // queued a frame "now" contends in the same round instead of the first
 // caller seizing the bus.
 func (b *Bus) kick() {
-	b.sched.After(0, func(time.Duration) { b.arbitrate() })
+	b.sched.After(0, b.kickEvent)
 }
 
 // arbitrate starts a transmission if the bus is idle and someone has a
 // pending frame.
 func (b *Bus) arbitrate() {
-	b.mu.Lock()
 	if b.busy {
-		b.mu.Unlock()
 		return
 	}
-	winner, frame, contenders := b.arbitrateLocked()
-	if winner == nil {
-		b.mu.Unlock()
+	winner, frame, ok := b.pickWinner()
+	if !ok {
 		return
 	}
 	b.busy = true
-	for _, c := range contenders {
-		if c != winner {
-			c.noteArbitrationLoss()
-		}
-	}
 	bits, err := WireBits(frame)
 	if err != nil {
 		// Frames are validated in Send; an encode failure here is a bug.
 		panic(fmt.Errorf("canbus: unencodable queued frame: %w", err))
 	}
 	dur := time.Duration(bits) * b.bitTime
-	failed := b.errRate > 0 && b.rng.Bool(b.errRate)
-	b.stats.BusyTime += dur
+	b.txNode = winner
+	b.txFrame = frame
+	b.txFailed = b.errRate > 0 && b.rng.Bool(b.errRate)
+	b.stats.busyTime.Add(int64(dur))
 	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxStart, Node: winner.name, Frame: frame})
-	b.mu.Unlock()
-
-	b.sched.After(dur, func(now time.Duration) {
-		b.complete(winner, frame, failed)
-	})
+	b.sched.After(dur, b.completeEvent)
 }
 
-// arbitrateLocked picks the winning node among all nodes with pending
-// frames. Ties on arbitration value are broken by attachment order, which
-// stands in for the bit-level resolution a real bus performs.
-func (b *Bus) arbitrateLocked() (*Node, Frame, []*Node) {
+// pickWinner selects the winning node among all nodes with pending frames
+// and charges losers an arbitration loss. Ties on arbitration value are
+// broken by attachment order, which stands in for the bit-level resolution a
+// real bus performs.
+func (b *Bus) pickWinner() (*Node, Frame, bool) {
 	var (
-		winner     *Node
-		best       Frame
-		bestVal    uint64
-		contenders []*Node
+		winner  *Node
+		best    Frame
+		bestVal uint64
 	)
 	for _, n := range b.nodes {
 		f, ok := n.pendingHead()
 		if !ok {
 			continue
 		}
-		contenders = append(contenders, n)
 		v := f.ArbitrationValue()
 		if winner == nil || v < bestVal {
 			winner, best, bestVal = n, f, v
 		}
 	}
-	return winner, best, contenders
+	if winner == nil {
+		return nil, Frame{}, false
+	}
+	for _, n := range b.nodes {
+		if n == winner {
+			continue
+		}
+		if _, ok := n.pendingHead(); ok {
+			n.noteArbitrationLoss()
+		}
+	}
+	return winner, best, true
 }
 
-// complete finishes a transmission: on error the transmitter's TEC grows and
-// the frame is retried (unless bus-off); on success the frame is broadcast
-// to every other node.
-func (b *Bus) complete(tx *Node, f Frame, failed bool) {
+// complete finishes the in-flight transmission: on error the transmitter's
+// TEC grows and the frame is retried (unless bus-off); on success the frame
+// is broadcast to every other node. A transmitter detached mid-frame aborts
+// the transmission without delivery.
+func (b *Bus) complete() {
+	tx, f, failed := b.txNode, b.txFrame, b.txFailed
+	b.txNode, b.txFrame = nil, Frame{}
+
+	if tx.detached {
+		// The transmitter was pulled off the bus mid-frame (satellite of the
+		// §V-B.2 malicious-node response): the partial frame is abandoned,
+		// nothing is delivered or counted against the detached node, and the
+		// bus frees for the next arbitration round.
+		b.stats.abortedTx.Add(1)
+		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxAborted, Node: tx.name, Frame: f})
+		b.busy = false
+		b.kick()
+		return
+	}
+
 	if failed {
 		st := tx.txError()
-		b.mu.Lock()
-		b.stats.Errors++
-		b.stats.BusyTime += time.Duration(errorFrameBits) * b.bitTime
+		b.stats.errors.Add(1)
+		b.stats.busyTime.Add(int64(errorFrameBits) * int64(b.bitTime))
 		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceError, Node: tx.name, Frame: f})
 		if st == BusOff {
 			b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceBusOff, Node: tx.name, Frame: f})
 		}
 		b.busy = false
-		b.mu.Unlock()
-		b.sched.After(time.Duration(errorFrameBits)*b.bitTime, func(time.Duration) { b.kick() })
+		// Schedule kick, not arbitrate, at the recovery instant: the extra
+		// zero-delay hop lets frames queued by other events firing at that
+		// same instant join the arbitration round (kick's SOF-sync model).
+		b.sched.After(time.Duration(errorFrameBits)*b.bitTime, b.deferredKick)
 		return
 	}
+
 	tx.popHead()
-	b.mu.Lock()
-	b.stats.FramesDelivered++
-	receivers := make([]*Node, 0, len(b.nodes)-1)
-	for _, n := range b.nodes {
-		if n != tx {
-			receivers = append(receivers, n)
-		}
-	}
+	b.stats.framesDelivered.Add(1)
 	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceDelivered, Node: tx.name, Frame: f})
 	b.busy = false
-	b.mu.Unlock()
-	for _, r := range receivers {
-		r.deliver(f)
+	// Snapshot receivers into a reusable scratch slice before delivering: a
+	// reentrant handler may Attach/Detach and mutate b.nodes mid-loop. The
+	// snapshot pins the receiver set to transmission time (late joiners miss
+	// the frame); deliver itself skips nodes detached mid-loop.
+	b.rxScratch = append(b.rxScratch[:0], b.nodes...)
+	for _, n := range b.rxScratch {
+		if n != tx {
+			n.deliver(f)
+		}
 	}
 	b.kick()
 }
 
 // Utilisation returns the fraction of elapsed virtual time the bus was busy.
 func (b *Bus) Utilisation() float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	now := b.sched.Now()
 	if now <= 0 {
 		return 0
 	}
-	return float64(b.stats.BusyTime) / float64(now)
+	return float64(b.stats.busyTime.Load()) / float64(now)
 }

@@ -442,3 +442,93 @@ func TestNodesSorted(t *testing.T) {
 		t.Errorf("Nodes() not sorted: %v", []string{nodes[0].Name(), nodes[1].Name(), nodes[2].Name()})
 	}
 }
+
+func TestDetachMidTransmissionAbortsWithoutDelivery(t *testing.T) {
+	sched, bus := newTestBus(t, Config{})
+	a := bus.MustAttach("a")
+	b := bus.MustAttach("b")
+	got := 0
+	b.Controller().SetHandler(func(Frame) { got++ })
+
+	if err := a.Send(MustDataFrame(0x123, []byte{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	// A data frame takes tens of microseconds on the wire; pull the
+	// transmitter off the bus while its frame is still in flight.
+	sched.At(10*time.Microsecond, func(time.Duration) {
+		if !bus.Detach("a") {
+			t.Error("Detach(a) reported no such node")
+		}
+	})
+	sched.Run()
+
+	if got != 0 {
+		t.Errorf("receiver got %d frames from a detached transmitter, want 0", got)
+	}
+	st := bus.Stats()
+	if st.FramesDelivered != 0 {
+		t.Errorf("FramesDelivered = %d, want 0", st.FramesDelivered)
+	}
+	if st.AbortedTx != 1 {
+		t.Errorf("AbortedTx = %d, want 1", st.AbortedTx)
+	}
+	if ns := a.Stats(); ns.TxCompleted != 0 {
+		t.Errorf("detached transmitter counted TxCompleted = %d, want 0", ns.TxCompleted)
+	}
+
+	// The bus must not be wedged: surviving nodes keep transmitting.
+	c := bus.MustAttach("c")
+	if err := c.Send(MustDataFrame(0x200, nil)); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if got != 1 {
+		t.Errorf("post-detach delivery count = %d, want 1", got)
+	}
+}
+
+func TestDetachCurrentArbitrationWinnerPromotesLoser(t *testing.T) {
+	sched, bus := newTestBus(t, Config{})
+	win := bus.MustAttach("winner")
+	lose := bus.MustAttach("loser")
+	sink := bus.MustAttach("sink")
+	var order []uint32
+	sink.Controller().SetHandler(func(f Frame) { order = append(order, f.ID) })
+
+	if err := win.Send(MustDataFrame(0x010, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lose.Send(MustDataFrame(0x400, nil)); err != nil {
+		t.Fatal(err)
+	}
+	sched.At(5*time.Microsecond, func(time.Duration) { bus.Detach("winner") })
+	sched.Run()
+
+	if len(order) != 1 || order[0] != 0x400 {
+		t.Fatalf("delivered %v, want only the loser's 0x400 after the winner detached", order)
+	}
+}
+
+func TestReentrantDetachDuringDeliveryDoesNotSkipReceivers(t *testing.T) {
+	sched, bus := newTestBus(t, Config{})
+	tx := bus.MustAttach("tx")
+	a := bus.MustAttach("a")
+	bus.MustAttach("b")
+	c := bus.MustAttach("c")
+	gotC := 0
+	// Node a's handler pulls node b off the bus mid-delivery (the §V-B.2
+	// malicious-node response); node c must still receive the frame.
+	a.Controller().SetHandler(func(Frame) { bus.Detach("b") })
+	c.Controller().SetHandler(func(Frame) { gotC++ })
+
+	if err := tx.Send(MustDataFrame(0x123, nil)); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if gotC != 1 {
+		t.Errorf("node c received %d frames, want 1 (reentrant Detach must not skip receivers)", gotC)
+	}
+	if _, ok := bus.Node("b"); ok {
+		t.Error("node b still attached")
+	}
+}

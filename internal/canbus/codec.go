@@ -58,10 +58,17 @@ func appendBits(dst []byte, v uint64, n int) []byte {
 // headerBits renders the frame fields covered by the CRC (SOF through the
 // data field), before stuffing.
 func headerBits(f Frame) ([]byte, error) {
+	return headerBitsInto(make([]byte, 0, 128), f)
+}
+
+// headerBitsInto appends the pre-stuffing SOF..data bits to dst; the
+// arbitration hot path passes a stack buffer so bus-time accounting does not
+// allocate.
+func headerBitsInto(dst []byte, f Frame) ([]byte, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
-	bits := make([]byte, 0, 128)
+	bits := dst
 	bits = append(bits, dominant) // SOF
 
 	rtr := byte(dominant)
@@ -282,9 +289,33 @@ func DecodeBits(bits []byte) (Frame, error) {
 // including stuffing, trailer and the mandatory interframe space. It is the
 // quantity the bus timing model multiplies by the bit time.
 func WireBits(f Frame) (int, error) {
-	bits, err := EncodeBits(f)
+	// Build the unstuffed SOF..CRC region in a stack buffer (<= 118 bits for
+	// any CAN 2.0 frame) and count stuff bits without materializing the
+	// stuffed stream; this keeps per-transmission bus-time accounting
+	// allocation-free while staying bit-exact with EncodeBits.
+	var buf [128]byte
+	bits, err := headerBitsInto(buf[:0], f)
 	if err != nil {
 		return 0, err
 	}
-	return len(bits) + interframeBits, nil
+	crc := CRC15(bits)
+	bits = appendBits(bits, uint64(crc), 15)
+	run := 0
+	var last byte = 2
+	stuffed := 0
+	for _, b := range bits {
+		if b == last {
+			run++
+		} else {
+			run = 1
+			last = b
+		}
+		if run == stuffRun {
+			stuffed++
+			last = 1 - b
+			run = 1
+		}
+	}
+	// Stuffed region + CRC delimiter + ACK slot + ACK delimiter + EOF + IFS.
+	return len(bits) + stuffed + 3 + eofBits + interframeBits, nil
 }

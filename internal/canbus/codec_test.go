@@ -223,3 +223,39 @@ func TestWireBitsMonotonicInPayload(t *testing.T) {
 		prev = bits
 	}
 }
+
+func TestWireBitsMatchesEncodeBits(t *testing.T) {
+	frames := []Frame{
+		MustDataFrame(0x123, []byte{1, 2, 3, 4}),
+		MustDataFrame(0x000, nil),
+		MustDataFrame(0x7FF, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}),
+		MustDataFrame(0x555, []byte{0xAA, 0x55, 0xAA}),
+		{ID: 0x1ABCDEF0, Extended: true, Data: []byte{9, 8, 7}, DLC: 3},
+		{ID: 0x42, RTR: true, DLC: 4},
+	}
+	for _, f := range frames {
+		wire, err := EncodeBits(f)
+		if err != nil {
+			t.Fatalf("EncodeBits(%v): %v", f, err)
+		}
+		n, err := WireBits(f)
+		if err != nil {
+			t.Fatalf("WireBits(%v): %v", f, err)
+		}
+		if want := len(wire) + interframeBits; n != want {
+			t.Errorf("WireBits(%v) = %d, want %d", f, n, want)
+		}
+	}
+}
+
+func TestWireBitsDoesNotAllocate(t *testing.T) {
+	f := MustDataFrame(0x2A5, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := WireBits(f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("WireBits allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -3,7 +3,6 @@ package canbus
 import (
 	"errors"
 	"fmt"
-	"sync"
 )
 
 // Handler is the processor-side callback a node application registers to
@@ -15,8 +14,10 @@ type Handler func(f Frame)
 // and applies the firmware-programmed acceptance filters. If no filters are
 // configured the controller accepts every frame, as most controllers do by
 // default.
+//
+// Like Bus and Node, a Controller is confined to the goroutine that drives
+// the owning scheduler (see the Bus ownership model).
 type Controller struct {
-	mu          sync.Mutex
 	filters     []AcceptanceFilter
 	compromised bool
 	handler     Handler
@@ -32,23 +33,17 @@ func NewController() *Controller {
 
 // SetFilters replaces the acceptance filter bank. The slice is copied.
 func (c *Controller) SetFilters(filters ...AcceptanceFilter) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.filters = append([]AcceptanceFilter(nil), filters...)
 }
 
 // Filters returns a copy of the current filter bank.
 func (c *Controller) Filters() []AcceptanceFilter {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return append([]AcceptanceFilter(nil), c.filters...)
 }
 
 // SetHandler registers the processor callback invoked for accepted frames.
 // When a handler is set the mailbox is not used.
 func (c *Controller) SetHandler(h Handler) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.handler = h
 }
 
@@ -56,8 +51,6 @@ func (c *Controller) SetHandler(h Handler) {
 // mailbox is full the oldest frame is dropped and the overrun counter
 // incremented, mirroring receive-buffer overruns on real controllers.
 func (c *Controller) SetMailboxCap(n int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.mailboxCap = n
 }
 
@@ -66,29 +59,21 @@ func (c *Controller) SetMailboxCap(n int) {
 // argument for a *hardware* policy engine is that it keeps filtering even in
 // this state.
 func (c *Controller) CompromiseFilters() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.compromised = true
 }
 
 // Compromised reports whether the firmware-modification attack has been applied.
 func (c *Controller) Compromised() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.compromised
 }
 
 // Restore undoes CompromiseFilters (e.g. after a firmware re-flash).
 func (c *Controller) Restore() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.compromised = false
 }
 
 // Overruns returns the number of frames lost to mailbox overruns.
 func (c *Controller) Overruns() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.overruns
 }
 
@@ -111,31 +96,24 @@ func (c *Controller) accepts(f Frame) bool {
 // receive runs the controller-side receive path. It reports whether the
 // frame was accepted past the filter bank.
 func (c *Controller) receive(f Frame) bool {
-	c.mu.Lock()
 	if !c.accepts(f) {
-		c.mu.Unlock()
 		return false
 	}
-	h := c.handler
-	if h == nil {
+	if c.handler == nil {
 		if c.mailboxCap > 0 && len(c.mailbox) >= c.mailboxCap {
 			copy(c.mailbox, c.mailbox[1:])
 			c.mailbox = c.mailbox[:len(c.mailbox)-1]
 			c.overruns++
 		}
 		c.mailbox = append(c.mailbox, f.Clone())
-		c.mu.Unlock()
 		return true
 	}
-	c.mu.Unlock()
-	h(f)
+	c.handler(f)
 	return true
 }
 
 // Drain returns and clears the mailbox contents.
 func (c *Controller) Drain() []Frame {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := c.mailbox
 	c.mailbox = nil
 	return out
@@ -168,11 +146,13 @@ type NodeStats struct {
 // Node is one station on the bus (Fig. 3): transceiver + controller +
 // processor, with the InlineFilter seam of Fig. 4 between controller and
 // transceiver in both directions.
+//
+// A Node shares its Bus's single-owner execution model: all methods must be
+// called from the goroutine driving the owning scheduler.
 type Node struct {
 	name string
 	bus  *Bus
 
-	mu         sync.Mutex
 	ctrl       *Controller
 	inline     InlineFilter
 	counters   ErrorCounters
@@ -199,8 +179,6 @@ func (n *Node) Controller() *Controller { return n.ctrl }
 // SetInlineFilter installs the Fig. 4 policy engine (or any InlineFilter) on
 // this node. Passing nil restores the permissive default.
 func (n *Node) SetInlineFilter(f InlineFilter) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if f == nil {
 		f = PermissiveFilter{}
 	}
@@ -209,30 +187,22 @@ func (n *Node) SetInlineFilter(f InlineFilter) {
 
 // InlineFilter returns the currently installed inline filter.
 func (n *Node) InlineFilter() InlineFilter {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.inline
 }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() NodeStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.stats
 }
 
 // ErrorState returns the node's current error confinement state.
 func (n *Node) ErrorState() ErrorState {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.counters.State()
 }
 
 // ResetErrors models a power-on reset, clearing error counters so a bus-off
 // node can rejoin.
 func (n *Node) ResetErrors() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.counters.Reset()
 }
 
@@ -244,40 +214,30 @@ func (n *Node) Send(f Frame) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
-	n.mu.Lock()
 	if n.detached {
-		n.mu.Unlock()
 		return ErrDetached
 	}
 	if n.bus == nil {
-		n.mu.Unlock()
 		return ErrNoBus
 	}
 	n.stats.TxRequested++
 	if n.counters.State() == BusOff {
 		n.stats.TxDroppedBusOff++
-		n.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrBusOff, n.name)
 	}
 	if v := n.inline.Decide(Write, f); v != Grant {
 		n.stats.TxBlocked++
-		bus := n.bus
-		n.mu.Unlock()
-		bus.noteWriteBlocked(n, f)
+		n.bus.noteWriteBlocked(n, f)
 		return nil
 	}
 	n.txq = append(n.txq, f.Clone())
-	bus := n.bus
-	n.mu.Unlock()
-	bus.kick()
+	n.bus.kick()
 	return nil
 }
 
 // pendingHead returns the head of the transmit queue, if any, and whether
 // the node can currently contend for the bus.
 func (n *Node) pendingHead() (Frame, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.detached || len(n.txq) == 0 || n.counters.State() == BusOff {
 		return Frame{}, false
 	}
@@ -290,8 +250,6 @@ func (n *Node) pendingHead() (Frame, bool) {
 // arrives, the node transmits a data frame with fn's payload. Passing a nil
 // fn removes the responder.
 func (n *Node) SetRemoteResponder(id uint32, fn func() []byte) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if fn == nil {
 		delete(n.responders, id)
 		return
@@ -305,32 +263,24 @@ func (n *Node) SetRemoteResponder(id uint32, fn func() []byte) {
 // deliver runs the inbound path: inline read filter, then controller
 // acceptance filters, then handler/mailbox, then remote auto-response.
 func (n *Node) deliver(f Frame) {
-	n.mu.Lock()
 	if n.detached {
-		n.mu.Unlock()
 		return
 	}
 	n.stats.RxSeen++
 	if v := n.inline.Decide(Read, f); v != Grant {
 		n.stats.RxBlocked++
-		bus := n.bus
-		n.mu.Unlock()
-		if bus != nil {
-			bus.noteReadBlocked(n, f)
+		if n.bus != nil {
+			n.bus.noteReadBlocked(n, f)
 		}
 		return
 	}
-	ctrl := n.ctrl
 	var responder func() []byte
 	if f.RTR {
 		responder = n.responders[f.ID]
 	}
-	n.mu.Unlock()
-	if ctrl.receive(f) {
-		n.mu.Lock()
+	if n.ctrl.receive(f) {
 		n.stats.RxAccepted++
 		n.counters.OnRxSuccess()
-		n.mu.Unlock()
 		if responder != nil {
 			reply, err := NewDataFrame(f.ID, responder())
 			if err == nil {
@@ -340,16 +290,12 @@ func (n *Node) deliver(f Frame) {
 			}
 		}
 	} else {
-		n.mu.Lock()
 		n.stats.RxFiltered++
-		n.mu.Unlock()
 	}
 }
 
 // popHead removes the head of the transmit queue after successful transmission.
 func (n *Node) popHead() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if len(n.txq) > 0 {
 		n.txq = n.txq[1:]
 	}
@@ -360,8 +306,6 @@ func (n *Node) popHead() {
 // txError records a transmission error; the frame stays queued for retry
 // unless the node went bus-off.
 func (n *Node) txError() ErrorState {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	st := n.counters.OnTxError()
 	if st == BusOff {
 		n.txq = nil
@@ -373,14 +317,10 @@ func (n *Node) txError() ErrorState {
 
 // noteArbitrationLoss counts a lost arbitration round.
 func (n *Node) noteArbitrationLoss() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.stats.ArbitrationLosses++
 }
 
 // QueueLen returns the number of frames waiting to transmit.
 func (n *Node) QueueLen() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return len(n.txq)
 }

@@ -1,0 +1,239 @@
+// Package engine is the fleet-scale simulation engine: it runs N independent
+// vehicle simulations — each owning its own sim.Scheduler, canbus.Bus,
+// car.Car and HPE/MAC stack — across a bounded worker pool and merges the
+// per-vehicle outcomes into one fleet-wide report.
+//
+// The paper's evaluation (§V) drives a single connected car; its update
+// story (§V-A.2) is about an OEM operating a population of them. The engine
+// is the unit of scale that bridges the two: fleet sweeps of the Table I
+// attack matrix, population-wide bus metrics, and live vehicles for the
+// staged policy rollout in internal/fleet.
+//
+// # Determinism
+//
+// Every vehicle derives its seed from the root seed via a SplitMix64 step,
+// so vehicle i behaves identically regardless of which worker runs it or in
+// what order vehicles are scheduled. Reports are merged in vehicle-index
+// order; two runs with the same Config produce byte-identical rendered
+// reports whatever the worker count.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/car"
+	"repro/internal/core"
+	"repro/internal/hpe"
+	"repro/internal/mac"
+	"repro/internal/threatmodel"
+)
+
+// Config parameterises a fleet run.
+type Config struct {
+	// Fleet is the number of vehicles simulated (default 1).
+	Fleet int
+	// Workers bounds the worker pool (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// RootSeed feeds per-vehicle seed derivation.
+	RootSeed uint64
+	// Scenarios is the attack matrix swept per vehicle
+	// (default attack.Scenarios(), the full Table I set).
+	Scenarios []attack.Scenario
+	// Regimes are the enforcement configurations swept per vehicle
+	// (default none + hpe, the paper's baseline-vs-defence comparison).
+	Regimes []attack.Enforcement
+	// TrafficPeriod is the legitimate-traffic period of the live background
+	// simulation (default 1ms).
+	TrafficPeriod time.Duration
+	// TrafficHorizon is the virtual span of the live background simulation
+	// (default 50ms).
+	TrafficHorizon time.Duration
+	// Speed is the simulated vehicle speed for legitimate traffic.
+	Speed uint16
+	// ErrorRate enables bus error injection in the background simulation.
+	ErrorRate float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Fleet <= 0 {
+		c.Fleet = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Fleet {
+		c.Workers = c.Fleet
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = attack.Scenarios()
+	}
+	if len(c.Regimes) == 0 {
+		c.Regimes = []attack.Enforcement{attack.EnforceNone, attack.EnforceHPE}
+	}
+	if c.TrafficPeriod <= 0 {
+		c.TrafficPeriod = time.Millisecond
+	}
+	if c.TrafficHorizon <= 0 {
+		c.TrafficHorizon = 50 * time.Millisecond
+	}
+	if c.Speed == 0 {
+		c.Speed = 88
+	}
+}
+
+// VehicleSeed derives the deterministic seed of vehicle index from the root
+// seed (a SplitMix64 output step, so neighbouring indices decorrelate).
+func VehicleSeed(root uint64, index int) uint64 {
+	z := root + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// VIN formats the deterministic vehicle identifier for an index.
+func VIN(index int) string { return fmt.Sprintf("VIN-%06d", index) }
+
+// shared holds the immutable artifacts every vehicle reuses: the compiled
+// policy and cycle model (inside the harness) and the derived MAC module.
+type shared struct {
+	cfg       Config
+	harness   *attack.Harness
+	macModule *mac.Module
+	analysis  *threatmodel.Analysis
+}
+
+// Run executes the fleet sweep and merges per-vehicle outcomes in vehicle
+// order.
+func Run(cfg Config) (*FleetReport, error) {
+	cfg.applyDefaults()
+	h, err := attack.NewHarness()
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := car.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	module, err := core.DeriveMACModule(analysis, "car-base", 1)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shared{cfg: cfg, harness: h, macModule: module, analysis: analysis}
+
+	reports := make([]VehicleReport, cfg.Fleet)
+	errs := make([]error, cfg.Fleet)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				reports[i], errs[i] = runVehicle(sh, i)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Fleet; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return merge(cfg, reports), nil
+}
+
+// runVehicle simulates one vehicle end to end: the live background
+// simulation with a provisioned HPE stack, the MAC least-privilege probe,
+// and the per-vehicle attack matrix sweep.
+func runVehicle(sh *shared, index int) (VehicleReport, error) {
+	seed := VehicleSeed(sh.cfg.RootSeed, index)
+	rep := VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
+
+	// Live background simulation: this vehicle's own scheduler, bus, car and
+	// deployed policy engines, driven over the configured horizon.
+	c, err := car.New(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
+	if err != nil {
+		return rep, err
+	}
+	if _, err := hpe.Deploy(c.Bus(), sh.harness.Compiled, c, sh.harness.Cycles, car.AllNodes...); err != nil {
+		return rep, err
+	}
+	c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
+	c.Scheduler().Run()
+	bs := c.Bus().Stats()
+	rep.FramesDelivered = bs.FramesDelivered
+	rep.BusErrors = bs.Errors
+	rep.WriteBlocked = bs.WriteBlocked
+	rep.ReadBlocked = bs.ReadBlocked
+	rep.AbortedTx = bs.AbortedTx
+	rep.Utilisation = c.Bus().Utilisation()
+	rep.SchedulerSteps = c.Scheduler().Steps()
+
+	// MAC stack: a per-vehicle server loaded with the derived
+	// type-enforcement module, probed against the legitimate catalog (every
+	// writer allowed) and one spoof path (infotainment commanding the ECU).
+	srv := mac.NewServer()
+	if err := srv.Load(sh.macModule); err != nil {
+		return rep, err
+	}
+	for _, m := range car.Catalog {
+		for _, w := range m.Writers {
+			rep.MACChecks++
+			if srv.Check(core.MACContext(w), core.MessageContext(m.ID), core.MACClassCAN, core.MACPermWrite).Allowed {
+				rep.MACAllowed++
+			}
+		}
+	}
+	rep.MACChecks++
+	if srv.Check(core.MACContext(car.NodeInfotainment), core.MessageContext(car.IDECUCommand), core.MACClassCAN, core.MACPermWrite).Allowed {
+		rep.MACAllowed++ // would indicate a broken least-privilege matrix
+	}
+
+	// Per-vehicle attack matrix: the full scenario x regime sweep, seeded
+	// with this vehicle's seed.
+	matrix, err := sh.harness.WithSeed(seed).RunMatrix(sh.cfg.Scenarios, sh.cfg.Regimes...)
+	if err != nil {
+		return rep, err
+	}
+	rep.Attacks = matrix.Regimes
+	return rep, nil
+}
+
+// merge folds per-vehicle reports (in index order) into the fleet report.
+func merge(cfg Config, vehicles []VehicleReport) *FleetReport {
+	fr := &FleetReport{
+		Fleet:    cfg.Fleet,
+		Workers:  cfg.Workers,
+		RootSeed: cfg.RootSeed,
+		Vehicles: vehicles,
+		Attacks:  make([]attack.RegimeSummary, len(cfg.Regimes)),
+	}
+	for i, enf := range cfg.Regimes {
+		fr.Attacks[i].Regime = enf
+	}
+	var utilSum float64
+	for _, v := range vehicles {
+		fr.FramesDelivered += v.FramesDelivered
+		fr.BusErrors += v.BusErrors
+		fr.WriteBlocked += v.WriteBlocked
+		fr.ReadBlocked += v.ReadBlocked
+		fr.AbortedTx += v.AbortedTx
+		fr.MACChecks += v.MACChecks
+		fr.MACAllowed += v.MACAllowed
+		utilSum += v.Utilisation
+		for i := range v.Attacks {
+			fr.Attacks[i].Summary.Merge(v.Attacks[i].Summary)
+		}
+	}
+	if len(vehicles) > 0 {
+		fr.MeanUtilisation = utilSum / float64(len(vehicles))
+	}
+	return fr
+}

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"crypto/ed25519"
+
+	"repro/internal/car"
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// Host keeps a population of live vehicle simulations — each with its own
+// scheduler, bus, car and provisioned policy-engine stack — so the §V-A.2
+// staged rollout (internal/fleet) distributes bundles to real simulations
+// instead of fakes. Every hosted vehicle is confined to whichever rollout
+// worker is currently applying to it; distinct vehicles share nothing, which
+// is what makes fleet.Rollout's bounded per-stage parallelism safe.
+type Host struct {
+	vehicles []HostedVehicle
+}
+
+// HostedVehicle is one live simulation plus its provisioned device.
+type HostedVehicle struct {
+	// Car is the live simulation.
+	Car *car.Car
+	// Device is the provisioned update endpoint.
+	Device *core.Device
+	// Vehicle is the fleet.Rollout adapter (drains the simulation after a
+	// fresh install so the policy takes effect on the live bus).
+	Vehicle core.FleetVehicle
+}
+
+// NewHost builds n live vehicles provisioned to trust the OEM key. Vehicle
+// seeds derive from rootSeed exactly as in Run, so a hosted fleet matches a
+// swept fleet vehicle-for-vehicle.
+func NewHost(n int, rootSeed uint64, oemKey ed25519.PublicKey) (*Host, error) {
+	h := &Host{vehicles: make([]HostedVehicle, 0, n)}
+	for i := 0; i < n; i++ {
+		c, err := car.New(car.Config{Seed: VehicleSeed(rootSeed, i)})
+		if err != nil {
+			return nil, err
+		}
+		dev, err := core.Provision(c.Bus(), c, oemKey, car.AllNodes, car.AllModes)
+		if err != nil {
+			return nil, err
+		}
+		hv := HostedVehicle{Car: c, Device: dev}
+		hv.Vehicle = core.FleetVehicle{
+			VID:        VIN(i),
+			Dev:        dev,
+			AfterApply: c.Scheduler().Run,
+		}
+		h.vehicles = append(h.vehicles, hv)
+	}
+	return h, nil
+}
+
+// Len returns the number of hosted vehicles.
+func (h *Host) Len() int { return len(h.vehicles) }
+
+// Vehicle returns the hosted vehicle at index.
+func (h *Host) Vehicle(index int) *HostedVehicle { return &h.vehicles[index] }
+
+// FleetVehicles returns the rollout-facing view of the population.
+func (h *Host) FleetVehicles() []fleet.Vehicle {
+	out := make([]fleet.Vehicle, len(h.vehicles))
+	for i := range h.vehicles {
+		out[i] = h.vehicles[i].Vehicle
+	}
+	return out
+}
+
+// PolicyVersions returns the installed policy version of every vehicle, in
+// host order.
+func (h *Host) PolicyVersions() []uint64 {
+	out := make([]uint64, len(h.vehicles))
+	for i := range h.vehicles {
+		out[i] = h.vehicles[i].Device.PolicyVersion()
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+)
+
+// VehicleReport is the merged outcome of one vehicle's simulation.
+type VehicleReport struct {
+	// Index is the vehicle's position in the fleet.
+	Index int
+	// VIN is the deterministic vehicle identifier.
+	VIN string
+	// Seed is the vehicle's derived simulation seed.
+	Seed uint64
+	// Attacks holds one aggregate per enforcement regime, in sweep order.
+	Attacks []attack.RegimeSummary
+	// FramesDelivered, BusErrors, WriteBlocked, ReadBlocked and AbortedTx
+	// are the background simulation's bus counters.
+	FramesDelivered uint64
+	BusErrors       uint64
+	WriteBlocked    uint64
+	ReadBlocked     uint64
+	AbortedTx       uint64
+	// Utilisation is the background simulation's bus utilisation.
+	Utilisation float64
+	// SchedulerSteps counts discrete events the vehicle's scheduler ran.
+	SchedulerSteps uint64
+	// MACChecks and MACAllowed count the least-privilege probe outcomes.
+	MACChecks  int
+	MACAllowed int
+}
+
+// FleetReport is the fleet-wide merge, in vehicle-index order.
+type FleetReport struct {
+	// Fleet and Workers echo the run configuration.
+	Fleet   int
+	Workers int
+	// RootSeed echoes the seed all vehicle seeds derive from.
+	RootSeed uint64
+	// Vehicles holds every per-vehicle report, ordered by index.
+	Vehicles []VehicleReport
+	// Attacks holds fleet-merged attack aggregates, one per regime.
+	Attacks []attack.RegimeSummary
+	// Fleet-wide bus totals from the background simulations.
+	FramesDelivered uint64
+	BusErrors       uint64
+	WriteBlocked    uint64
+	ReadBlocked     uint64
+	AbortedTx       uint64
+	// MeanUtilisation averages per-vehicle bus utilisation.
+	MeanUtilisation float64
+	// MACChecks and MACAllowed total the least-privilege probe outcomes.
+	MACChecks  int
+	MACAllowed int
+}
+
+// String renders the fleet report deterministically: same Config and
+// RootSeed, byte-identical output, regardless of worker count.
+func (r *FleetReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet run: %d vehicle(s), %d worker(s), root seed %#x\n",
+		r.Fleet, r.Workers, r.RootSeed)
+	fmt.Fprintf(&b, "bus: delivered=%d errors=%d wblk=%d rblk=%d aborted=%d mean-util=%.4f%%\n",
+		r.FramesDelivered, r.BusErrors, r.WriteBlocked, r.ReadBlocked, r.AbortedTx,
+		r.MeanUtilisation*100)
+	fmt.Fprintf(&b, "mac: checks=%d allowed=%d\n", r.MACChecks, r.MACAllowed)
+	for _, rs := range r.Attacks {
+		fmt.Fprintf(&b, "attacks[%s]: %s success=%.1f%% blocked=%.1f%%\n",
+			rs.Regime, rs.Summary, rs.Summary.SuccessRate()*100, rs.Summary.BlockRate()*100)
+	}
+	for i := range r.Vehicles {
+		v := &r.Vehicles[i]
+		fmt.Fprintf(&b, "  %s seed=%#016x delivered=%-5d util=%.4f%% steps=%-6d",
+			v.VIN, v.Seed, v.FramesDelivered, v.Utilisation*100, v.SchedulerSteps)
+		for _, rs := range v.Attacks {
+			fmt.Fprintf(&b, " %s{succ=%d blk=%d}", rs.Regime, rs.Summary.Succeeded, rs.Summary.Blocked)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

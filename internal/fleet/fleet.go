@@ -9,8 +9,10 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/policy"
 )
@@ -49,6 +51,12 @@ type Plan struct {
 	// AbortThreshold is the per-stage failure-rate ceiling in [0, 1); when
 	// a stage's failure rate exceeds it, remaining stages are cancelled.
 	AbortThreshold float64
+	// Workers bounds the per-stage apply parallelism; 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the serial behaviour. Stages remain
+	// sequential barriers (a stage's failure rate gates the next stage),
+	// and the report is identical to a serial rollout whatever the worker
+	// count: outcomes are folded in fleet order after each stage completes.
+	Workers int
 }
 
 // DefaultPlan is a conservative canary rollout: 1%, 10%, 50%, 100%, abort
@@ -144,11 +152,14 @@ func (r Report) String() string {
 }
 
 // Rollout executes a staged distribution of bundle to the fleet. Vehicles
-// are ordered by ID for determinism; each is attempted at most once. When a
-// stage's failure rate exceeds the plan's threshold the rollout stops
-// before the next stage (already-updated vehicles keep the new policy; the
-// store's version monotonicity makes re-running the rollout after a fix
-// safe and idempotent).
+// are ordered by ID for determinism; each is attempted at most once. Within
+// a stage, applies run with bounded parallelism (Plan.Workers) while the
+// report keeps exact fleet order; stages stay sequential because each
+// stage's failure rate gates the next. When a stage's failure rate exceeds
+// the plan's threshold the rollout stops before the next stage
+// (already-updated vehicles keep the new policy; the store's version
+// monotonicity makes re-running the rollout after a fix safe and
+// idempotent).
 func Rollout(fleetVehicles []Vehicle, bundle *policy.Bundle, plan Plan) (Report, error) {
 	if err := plan.Validate(); err != nil {
 		return Report{}, err
@@ -173,9 +184,11 @@ func Rollout(fleetVehicles []Vehicle, bundle *policy.Bundle, plan Plan) (Report,
 			continue
 		}
 		sr := StageReport{Stage: idx, Fraction: frac}
-		for _, v := range ordered[done:upTo] {
+		stage := ordered[done:upTo]
+		outcomes := applyStage(stage, bundle, plan.Workers)
+		for i, v := range stage {
 			sr.Attempted++
-			if err := v.Apply(bundle); err != nil {
+			if err := outcomes[i]; err != nil {
 				sr.Failed++
 				sr.Failures = append(sr.Failures, Failure{VehicleID: v.ID(), Err: err})
 			} else {
@@ -193,4 +206,43 @@ func Rollout(fleetVehicles []Vehicle, bundle *policy.Bundle, plan Plan) (Report,
 		}
 	}
 	return report, nil
+}
+
+// applyStage attempts the bundle on every vehicle of one stage with bounded
+// parallelism and returns per-vehicle outcomes indexed like the input, so
+// the caller can fold them in fleet order. Each vehicle is attempted exactly
+// once and no two workers ever touch the same vehicle, which keeps
+// single-owner simulations (engine-hosted vehicles) safe to update in
+// parallel.
+func applyStage(stage []Vehicle, bundle *policy.Bundle, workers int) []error {
+	outcomes := make([]error, len(stage))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(stage) {
+		workers = len(stage)
+	}
+	if workers <= 1 {
+		for i, v := range stage {
+			outcomes[i] = v.Apply(bundle)
+		}
+		return outcomes
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = stage[i].Apply(bundle)
+			}
+		}()
+	}
+	for i := range stage {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return outcomes
 }

@@ -208,3 +208,122 @@ func TestRolloutDeterministicOrder(t *testing.T) {
 		t.Errorf("order = %v", order)
 	}
 }
+
+func TestRolloutTinyFleetEmptyEarlyStages(t *testing.T) {
+	// With 3 vehicles a 1% and a 10% canary stage both truncate to zero
+	// vehicles: they must be recorded as empty, never attempted, and never
+	// count toward abort decisions.
+	vehicles := fakeFleet(3, nil)
+	r, err := Rollout(vehicles, testBundle(t, 2), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stages) != 4 {
+		t.Fatalf("stages recorded = %d, want 4", len(r.Stages))
+	}
+	for _, s := range r.Stages[:2] {
+		if s.Attempted != 0 || s.Applied != 0 || s.Failed != 0 {
+			t.Errorf("stage %d on tiny fleet attempted=%d applied=%d failed=%d, want all 0",
+				s.Stage, s.Attempted, s.Applied, s.Failed)
+		}
+		if rate := s.FailureRate(); rate != 0 {
+			t.Errorf("empty stage %d failure rate = %v, want 0", s.Stage, rate)
+		}
+	}
+	if r.Applied != 3 || r.Failed != 0 {
+		t.Errorf("totals applied=%d failed=%d, want 3/0", r.Applied, r.Failed)
+	}
+	if r.Aborted {
+		t.Error("tiny fleet rollout aborted")
+	}
+}
+
+func TestRolloutFailureRateEqualToThresholdDoesNotAbort(t *testing.T) {
+	// 100 vehicles in a single stage with exactly 5 failures: the rate
+	// equals the 5% threshold and the check is strictly >, so the rollout
+	// must complete.
+	failing := map[int]bool{3: true, 17: true, 42: true, 77: true, 99: true}
+	vehicles := fakeFleet(100, failing)
+	plan := Plan{Stages: []float64{1.0}, AbortThreshold: 0.05}
+	r, err := Rollout(vehicles, testBundle(t, 2), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stages[0].FailureRate(); got != 0.05 {
+		t.Fatalf("stage failure rate = %v, want exactly 0.05", got)
+	}
+	if r.Aborted {
+		t.Error("rollout aborted at failure rate == AbortThreshold; abort must require strictly greater")
+	}
+	// One failure more must tip it.
+	failing[50] = true
+	r2, err := Rollout(fakeFleet(100, failing), testBundle(t, 2), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Aborted {
+		t.Error("rollout with failure rate above threshold did not abort")
+	}
+}
+
+func TestRolloutReportTotalInvariants(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// Spare the 1-vehicle canary stage (index 0) so no stage's
+			// failure rate crosses the threshold and every stage runs.
+			failing := map[int]bool{}
+			for i := 20; i < 137; i += 11 {
+				failing[i] = true
+			}
+			plan := DefaultPlan()
+			plan.AbortThreshold = 0.5 // let every stage run
+			plan.Workers = workers
+			r, err := Rollout(fakeFleet(137, failing), testBundle(t, 2), plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			attempted, applied, failed, failures := 0, 0, 0, 0
+			for _, s := range r.Stages {
+				attempted += s.Attempted
+				applied += s.Applied
+				failed += s.Failed
+				failures += len(s.Failures)
+				if s.Applied+s.Failed != s.Attempted {
+					t.Errorf("stage %d: applied %d + failed %d != attempted %d",
+						s.Stage, s.Applied, s.Failed, s.Attempted)
+				}
+			}
+			if r.Applied+r.Failed != attempted {
+				t.Errorf("Applied %d + Failed %d != sum(Attempted) %d", r.Applied, r.Failed, attempted)
+			}
+			if r.Applied != applied || r.Failed != failed {
+				t.Errorf("report totals %d/%d != stage sums %d/%d", r.Applied, r.Failed, applied, failed)
+			}
+			if failures != failed {
+				t.Errorf("recorded failure entries %d != failed count %d", failures, failed)
+			}
+			if attempted != 137 {
+				t.Errorf("attempted %d vehicles, want all 137", attempted)
+			}
+		})
+	}
+}
+
+func TestRolloutParallelMatchesSerialReport(t *testing.T) {
+	failing := map[int]bool{5: true, 40: true, 41: true, 90: true}
+	mk := func(workers int) Report {
+		plan := DefaultPlan()
+		plan.AbortThreshold = 0.2
+		plan.Workers = workers
+		r, err := Rollout(fakeFleet(120, failing), testBundle(t, 2), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial, parallel := mk(1), mk(8)
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel rollout report differs from serial:\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+}

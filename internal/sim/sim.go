@@ -17,22 +17,30 @@ import (
 // Event is a callback scheduled to run at a virtual instant.
 type Event func(now time.Duration)
 
-// item is a scheduled event inside the heap.
+// item is a scheduled event inside the heap. Items are recycled through the
+// scheduler's free list once they fire or are discarded, so the hot path of a
+// long simulation schedules without allocating; gen disambiguates a recycled
+// item from the event a stale Handle still points at.
 type item struct {
 	at   time.Duration
 	seq  uint64 // tie-breaker: schedule order
 	fn   Event
-	dead bool // cancelled
-	idx  int  // heap index, maintained by eventHeap
+	dead bool   // cancelled
+	idx  int    // heap index, maintained by eventHeap
+	gen  uint64 // incremented on recycle; Handles from prior lives no-op
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ it *item }
+type Handle struct {
+	it  *item
+	gen uint64
+}
 
 // Cancel marks the event so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op, even if the scheduler has since
+// recycled the underlying slot for a different event.
 func (h Handle) Cancel() {
-	if h.it != nil {
+	if h.it != nil && h.it.gen == h.gen {
 		h.it.dead = true
 	}
 }
@@ -72,6 +80,7 @@ type Scheduler struct {
 	seq    uint64
 	events eventHeap
 	steps  uint64
+	free   []*item // recycled heap items
 }
 
 // ErrPast is returned when an event is scheduled before the current virtual time.
@@ -87,16 +96,37 @@ func (s *Scheduler) Pending() int { return len(s.events) }
 // Steps returns the number of events executed so far.
 func (s *Scheduler) Steps() uint64 { return s.steps }
 
+// alloc takes an item from the free list, or heap-allocates when empty.
+func (s *Scheduler) alloc() *item {
+	if n := len(s.free); n > 0 {
+		it := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return it
+	}
+	return &item{}
+}
+
+// recycle returns a popped item to the free list, invalidating outstanding
+// Handles to its previous life.
+func (s *Scheduler) recycle(it *item) {
+	it.fn = nil
+	it.dead = false
+	it.gen++
+	s.free = append(s.free, it)
+}
+
 // At schedules fn to run at absolute virtual time at.
 // It panics with ErrPast if at precedes the current time.
 func (s *Scheduler) At(at time.Duration, fn Event) Handle {
 	if at < s.now {
 		panic(fmt.Errorf("%w: at=%v now=%v", ErrPast, at, s.now))
 	}
-	it := &item{at: at, seq: s.seq, fn: fn}
+	it := s.alloc()
+	it.at, it.seq, it.fn = at, s.seq, fn
 	s.seq++
 	heap.Push(&s.events, it)
-	return Handle{it: it}
+	return Handle{it: it, gen: it.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -113,11 +143,14 @@ func (s *Scheduler) Step() bool {
 	for len(s.events) > 0 {
 		it := heap.Pop(&s.events).(*item)
 		if it.dead {
+			s.recycle(it)
 			continue
 		}
 		s.now = it.at
 		s.steps++
-		it.fn(s.now)
+		fn := it.fn
+		s.recycle(it)
+		fn(s.now)
 		return true
 	}
 	return false
@@ -136,7 +169,7 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 		// Peek without popping.
 		next := s.events[0]
 		if next.dead {
-			heap.Pop(&s.events)
+			s.recycle(heap.Pop(&s.events).(*item))
 			continue
 		}
 		if next.at > deadline {

@@ -244,3 +244,44 @@ func TestRNGPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestSchedulerStaleHandleCannotCancelRecycledItem(t *testing.T) {
+	var s Scheduler
+	fired := 0
+	// Fire and recycle the first event's heap item.
+	h1 := s.At(time.Millisecond, func(time.Duration) { fired++ })
+	s.Run()
+	// The next event reuses the recycled item; the stale handle must no-op.
+	s.At(2*time.Millisecond, func(time.Duration) { fired++ })
+	h1.Cancel()
+	s.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (stale Cancel must not kill the recycled event)", fired)
+	}
+}
+
+func TestSchedulerFreeListReusesItems(t *testing.T) {
+	var s Scheduler
+	// Warm the pool, then check steady-state scheduling does not allocate.
+	for i := 0; i < 100; i++ {
+		s.After(time.Microsecond, func(time.Duration) {})
+		s.Run()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Microsecond, func(time.Duration) {})
+		s.Run()
+	})
+	if allocs > 0.1 {
+		t.Errorf("steady-state schedule+run allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestSchedulerCancelledEventsAreRecycled(t *testing.T) {
+	var s Scheduler
+	h := s.At(time.Millisecond, func(time.Duration) {})
+	h.Cancel()
+	s.Run()
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", got)
+	}
+}
