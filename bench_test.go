@@ -248,7 +248,7 @@ func benchLookup(b *testing.B, kind policy.LookupKind, size uint32) {
 }
 
 func BenchmarkAblationHPELookup(b *testing.B) {
-	for _, kind := range []policy.LookupKind{policy.LookupHash, policy.LookupSorted, policy.LookupLinear} {
+	for _, kind := range []policy.LookupKind{policy.LookupBitmap, policy.LookupHash, policy.LookupSorted, policy.LookupLinear} {
 		for _, size := range []uint32{16, 256, 2048} {
 			b.Run(fmt.Sprintf("%s/%d", kind, size), func(b *testing.B) {
 				benchLookup(b, kind, size)
@@ -429,8 +429,10 @@ func BenchmarkAblationBehaviouralOverhead(b *testing.B) {
 
 // BenchmarkFleetSweep (E3) scales the fleet engine across population sizes:
 // every vehicle runs its own scheduler/bus/car/HPE stack plus a reduced
-// Table I matrix, on a bounded worker pool. The metric is wall-clock
-// vehicles per second, the fleet engine's throughput unit.
+// Table I matrix, on a bounded worker pool with pooled per-worker arenas
+// (the engine default). The metric is wall-clock vehicles per second, the
+// fleet engine's throughput unit; BENCH_1.json snapshots it and CI gates
+// regressions via cmd/benchgate.
 func BenchmarkFleetSweep(b *testing.B) {
 	scenarios := attack.Scenarios()[:3]
 	for _, fleetSize := range []int{1, 10, 100, 1000} {

@@ -1,0 +1,96 @@
+// Command benchgate compares `go test -bench` output against a checked-in
+// benchmark snapshot (BENCH_<n>.json) and fails when any benchmark regresses
+// by more than the allowed factor in ns/op. It is the CI smoke gate for the
+// fleet engine's throughput: a gross slowdown (>2x by default) fails the
+// build, while ordinary machine-to-machine noise passes.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'FleetSweep|Fig2' -benchtime 2x . | benchgate -snapshot BENCH_1.json
+//
+// The tool reads benchmark output on stdin. Sub-benchmark names are matched
+// after stripping the trailing -<GOMAXPROCS> suffix; benchmarks missing from
+// the snapshot are ignored, but at least one must match.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// snapshot mirrors the BENCH_<n>.json schema.
+type snapshot struct {
+	Comment    string                `json:"comment"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g. "BenchmarkFleetSweep/fleet=1000-8  7  148317995 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	snapPath := flag.String("snapshot", "BENCH_1.json", "benchmark snapshot to compare against")
+	factor := flag.Float64("factor", 2.0, "fail when measured ns/op exceeds snapshot by this factor")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*snapPath)
+	if err != nil {
+		fatal("read snapshot: %v", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		fatal("parse snapshot %s: %v", *snapPath, err)
+	}
+
+	matched, failed := 0, 0
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through for the CI log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		entry, ok := snap.Benchmarks[name]
+		if !ok || entry.NsPerOp <= 0 {
+			continue
+		}
+		measured, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		matched++
+		ratio := measured / entry.NsPerOp
+		verdict := "ok"
+		if ratio > *factor {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("benchgate: %-40s %12.0f ns/op vs snapshot %12.0f (%.2fx) %s\n",
+			name, measured, entry.NsPerOp, ratio, verdict)
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read stdin: %v", err)
+	}
+	if matched == 0 {
+		fatal("no benchmark in the input matched the snapshot %s", *snapPath)
+	}
+	if failed > 0 {
+		fatal("%d benchmark(s) regressed more than %.1fx vs %s", failed, *factor, *snapPath)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within %.1fx of %s\n", matched, *factor, *snapPath)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 //	carsim -attack all -enforcement none,software,hpe
 //	carsim -attack EVECU-1 -enforcement hpe -trace
 //	carsim -fleet 100 -workers 8 -seed 42
+//	carsim -fleet 1000 -reuse=false   # fresh-construction reference mode
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/canbus"
@@ -37,15 +39,16 @@ func main() {
 	fleetSize := flag.Int("fleet", 0, "sweep N independent vehicle simulations and print the merged fleet report")
 	workers := flag.Int("workers", 0, "bound the fleet worker pool (default GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "root seed for deterministic per-vehicle seed derivation")
+	reuse := flag.Bool("reuse", true, "pool vehicles per worker (reset in place); false rebuilds every stack from scratch")
 	flag.Parse()
 
-	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed); err != nil {
+	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse); err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64) error {
+func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse bool) error {
 	if topology {
 		fmt.Print(report.Topology())
 		return nil
@@ -61,7 +64,7 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 		return runLatency()
 	}
 	if fleetSize > 0 {
-		return runFleet(fleetSize, workers, seed, enforcement)
+		return runFleet(fleetSize, workers, seed, enforcement, reuse)
 	}
 	if attackSel == "" {
 		flag.Usage()
@@ -71,22 +74,32 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 }
 
 // runFleet sweeps the Table I matrix across a simulated fleet and prints the
-// merged report.
-func runFleet(fleetSize, workers int, seed uint64, enforcement string) error {
+// merged report plus the wall-clock throughput. The report itself stays
+// byte-stable for a given config; the timing line is printed separately.
+func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse bool) error {
 	regimes, err := parseRegimes(enforcement)
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	fr, err := engine.Run(engine.Config{
-		Fleet:    fleetSize,
-		Workers:  workers,
-		RootSeed: seed,
-		Regimes:  regimes,
+		Fleet:         fleetSize,
+		Workers:       workers,
+		RootSeed:      seed,
+		Regimes:       regimes,
+		FreshVehicles: !reuse,
 	})
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	fmt.Print(fr)
+	mode := "pooled"
+	if !reuse {
+		mode = "fresh"
+	}
+	fmt.Printf("throughput: %.0f vehicles/s (%s vehicles, %v wall clock)\n",
+		float64(fleetSize)/elapsed.Seconds(), mode, elapsed.Round(time.Millisecond))
 	return nil
 }
 

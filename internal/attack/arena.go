@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"repro/internal/canbus"
+	"repro/internal/car"
+	"repro/internal/hpe"
+)
+
+// Arena is the harness's reusable-vehicle mode: one car and one
+// pre-installed policy engine per node, constructed once and reset in place
+// between runs. Running a scenario through an arena produces a Result
+// byte-identical to Harness.Run on a fresh car — the fleet engine's
+// determinism tests assert exactly that — while skipping the full topology
+// rebuild (scheduler, bus, eight nodes, eight engines) the fresh path pays
+// per scenario×regime cell.
+//
+// An Arena is single-owner, like the simulation substrate it wraps: all
+// methods must be called from one goroutine at a time. The fleet engine
+// gives each worker its own arena.
+type Arena struct {
+	h       *Harness
+	car     *car.Car
+	engines []*hpe.Engine  // index-aligned with car.AllNodes
+	nodes   []*canbus.Node // same alignment; stable across car resets
+	seed    uint64
+}
+
+// NewArena builds the reusable vehicle stack: the car topology and one
+// single-owner policy engine per node, each with the harness's compiled
+// policy installed.
+func (h *Harness) NewArena() (*Arena, error) {
+	c, err := car.New(car.Config{Seed: h.Seed})
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]*hpe.Engine, len(car.AllNodes))
+	nodes := make([]*canbus.Node, len(car.AllNodes))
+	for i, name := range car.AllNodes {
+		eng := hpe.New(name, c, h.Cycles)
+		eng.SetSingleOwner(true)
+		if err := eng.Install(h.Compiled); err != nil {
+			return nil, err
+		}
+		engines[i] = eng
+		nodes[i], _ = c.Node(name)
+	}
+	return &Arena{h: h, car: c, engines: engines, nodes: nodes, seed: h.Seed}, nil
+}
+
+// Car returns the arena's vehicle, for callers (the fleet engine's live
+// background simulation) that drive it directly between scenario runs.
+func (a *Arena) Car() *car.Car { return a.car }
+
+// SetSeed changes the seed used for subsequent resets, the pooled
+// equivalent of Harness.WithSeed.
+func (a *Arena) SetSeed(seed uint64) { a.seed = seed }
+
+// deployEngines resets every pooled engine's counters, reinstalls the
+// compiled policy (a table reuse, not a recompilation) and attaches each
+// engine as its node's inline filter — the pooled equivalent of hpe.Deploy.
+func (a *Arena) deployEngines() error {
+	for i, n := range a.nodes {
+		a.engines[i].Reset()
+		if err := a.engines[i].Reinstall(a.h.Compiled); err != nil {
+			return err
+		}
+		n.SetInlineFilter(a.engines[i])
+	}
+	return nil
+}
+
+// StartLive resets the arena's car with cfg and provisions the pooled
+// policy engines on every node: the reusable equivalent of car.New followed
+// by hpe.Deploy, used for live background simulations.
+func (a *Arena) StartLive(cfg car.Config) (*car.Car, error) {
+	a.car.Reset(cfg)
+	if err := a.deployEngines(); err != nil {
+		return nil, err
+	}
+	return a.car, nil
+}
+
+// Run executes one scenario under one enforcement regime on the pooled
+// vehicle, resetting it first. Results match Harness.Run on a fresh car.
+func (a *Arena) Run(sc Scenario, enf Enforcement) (Result, error) {
+	a.car.Reset(car.Config{Seed: a.seed})
+	switch enf {
+	case EnforceHPE:
+		if err := a.deployEngines(); err != nil {
+			return Result{}, err
+		}
+	case EnforceNone:
+		for _, n := range a.nodes {
+			n.Controller().SetFilters()
+		}
+	}
+	return a.h.execute(a.car, sc, enf)
+}
+
+// RunMatrix executes every scenario under every requested regime on the
+// pooled vehicle: Harness.RunMatrix without the per-cell reconstruction.
+func (a *Arena) RunMatrix(scenarios []Scenario, regimes ...Enforcement) (Matrix, error) {
+	return runMatrix(scenarios, regimes, a.Run)
+}

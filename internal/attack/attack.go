@@ -1,7 +1,9 @@
 // Package attack implements the adversarial half of the case study: one
 // executable attack scenario per Table I threat, plus a harness that runs a
-// scenario against a fresh car under a chosen enforcement regime and
-// measures whether the attack's effect materialised.
+// scenario against a car under a chosen enforcement regime and measures
+// whether the attack's effect materialised. Harness.Run builds a fresh car
+// per call; an Arena reuses one pooled vehicle stack across runs with
+// identical results (the fleet engine's fast path).
 //
 // Two attacker placements from §V-B.2 are modelled:
 //
@@ -176,32 +178,46 @@ func NewHarness() (*Harness, error) {
 const stepTime = 2 * time.Millisecond
 
 // Run executes one scenario under one enforcement regime on a fresh car and
-// returns the measured result.
+// returns the measured result. For repeated runs, an Arena amortises the
+// vehicle construction this path repeats per call.
 func (h *Harness) Run(sc Scenario, enf Enforcement) (Result, error) {
 	c, err := car.New(car.Config{Seed: h.Seed})
 	if err != nil {
 		return Result{}, err
 	}
+	if enf == EnforceHPE {
+		if _, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...); err != nil {
+			return Result{}, err
+		}
+	}
+	stripFilters(c, enf)
+	return h.execute(c, sc, enf)
+}
+
+// stripFilters applies the EnforceNone degradation: controllers in
+// promiscuous mode, the weakest credible configuration (not even firmware
+// acceptance filters).
+func stripFilters(c *car.Car, enf Enforcement) {
+	if enf != EnforceNone {
+		return
+	}
+	for _, name := range car.AllNodes {
+		if n, ok := c.Node(name); ok {
+			n.Controller().SetFilters()
+		}
+	}
+}
+
+// execute runs the scenario body on a car whose enforcement regime is
+// already applied: setup, mode switch, attacker placement, injection,
+// measurement and the functional probe. Shared by the fresh-car path (Run)
+// and the pooled path (Arena.Run).
+func (h *Harness) execute(c *car.Car, sc Scenario, enf Enforcement) (Result, error) {
 	res := Result{
 		ThreatID:    sc.ThreatID,
 		Name:        sc.Name,
 		Enforcement: enf,
 		Placement:   sc.Placement,
-	}
-
-	switch enf {
-	case EnforceHPE:
-		if _, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...); err != nil {
-			return Result{}, err
-		}
-	case EnforceNone:
-		// Strip even the firmware acceptance filters: controllers in
-		// promiscuous mode, the weakest credible configuration.
-		for _, name := range car.AllNodes {
-			if n, ok := c.Node(name); ok {
-				n.Controller().SetFilters()
-			}
-		}
 	}
 
 	// Scenario preparation happens in Normal mode with enforcement already
@@ -230,13 +246,16 @@ func (h *Harness) Run(sc Scenario, enf Enforcement) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("attack: bad injection for %s: %w", sc.ThreatID, err)
 		}
+		// One shared frame and one shared event per injection spec: Send
+		// clones into the transmit queue, so every scheduled repeat can
+		// reference the same values instead of allocating per repeat.
+		fire := func(time.Duration) {
+			_ = attacker.Send(frame) // blocked sends are measured, not errors
+		}
 		for i := 0; i < n; i++ {
 			at += stepTime
 			res.Injected++
-			f := frame.Clone()
-			c.Scheduler().At(at, func(time.Duration) {
-				_ = attacker.Send(f) // blocked sends are measured, not errors
-			})
+			c.Scheduler().At(at, fire)
 		}
 	}
 	c.Scheduler().Run()
@@ -267,8 +286,16 @@ func (h *Harness) placeAttacker(c *car.Car, sc Scenario, enf Enforcement) (*canb
 		return node, nil
 	case Outside:
 		// A malicious node is introduced; it carries no HPE regardless of
-		// regime — the defence is on the victims.
-		return c.Bus().Attach(sc.Attacker)
+		// regime — the defence is on the victims. It discards inbound
+		// traffic (a transmit-only attacker): without a handler the
+		// controller would clone every delivered frame into a mailbox
+		// nobody drains.
+		n, err := c.Bus().Attach(sc.Attacker)
+		if err != nil {
+			return nil, err
+		}
+		n.Controller().SetHandler(func(canbus.Frame) {})
+		return n, nil
 	default:
 		return nil, fmt.Errorf("attack: invalid placement %d", sc.Placement)
 	}

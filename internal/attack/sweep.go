@@ -124,6 +124,14 @@ func (h *Harness) WithSeed(seed uint64) *Harness {
 // RunMatrix executes every scenario under every requested regime and returns
 // per-regime aggregates alongside the raw results.
 func (h *Harness) RunMatrix(scenarios []Scenario, regimes ...Enforcement) (Matrix, error) {
+	return runMatrix(scenarios, regimes, h.Run)
+}
+
+// runMatrix is the shared matrix sweep: scenario-major, regime-minor, with
+// per-regime aggregation in sweep order. Both the fresh-car path
+// (Harness.RunMatrix) and the pooled path (Arena.RunMatrix) delegate here,
+// so result ordering can never diverge between them.
+func runMatrix(scenarios []Scenario, regimes []Enforcement, run func(Scenario, Enforcement) (Result, error)) (Matrix, error) {
 	m := Matrix{
 		Results: make([]Result, 0, len(scenarios)*len(regimes)),
 		Regimes: make([]RegimeSummary, len(regimes)),
@@ -133,7 +141,7 @@ func (h *Harness) RunMatrix(scenarios []Scenario, regimes ...Enforcement) (Matri
 	}
 	for _, sc := range scenarios {
 		for i, enf := range regimes {
-			r, err := h.Run(sc, enf)
+			r, err := run(sc, enf)
 			if err != nil {
 				return Matrix{}, err
 			}

@@ -3,7 +3,6 @@ package canbus
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -113,43 +112,61 @@ type Config struct {
 // and delivery machinery) must happen on the goroutine that drives the
 // owning sim.Scheduler. Because a Scheduler is strictly single-goroutine,
 // the hot path carries no locks at all. The only cross-goroutine facade is
-// Stats(), whose counters are maintained with atomics so a monitor (or the
-// fleet engine's merger) can snapshot a bus owned by another worker.
+// Stats(), which may be called from another goroutine only across a
+// synchronising handoff (the fleet engine's merger joins its workers before
+// reading); there is exactly one writer, the owning goroutine.
 type Bus struct {
 	sched   *sim.Scheduler
 	bitTime time.Duration
 	errRate float64
 	rng     *sim.RNG
 
-	nodes  []*Node
-	byName map[string]*Node
-	busy   bool
-	tracer func(TraceEvent)
+	nodes     []*Node
+	byName    map[string]*Node
+	busy      bool
+	kickArmed bool // an arbitration round is already scheduled for this instant
+	tracer    func(TraceEvent)
+
+	// wireCache memoises WireBits by frame content: periodic traffic and
+	// repeated injections re-transmit identical frames, and counting stuff
+	// bits is the single most expensive step of starting a transmission.
+	// The mapping is pure, so the cache survives Reset.
+	wireCache map[wireKey]int
 
 	// In-flight transmission, valid while busy. Storing it on the bus (one
 	// transmission can be in flight at a time) lets arbitrate reuse the two
 	// pre-bound events below instead of allocating a closure per frame.
+	// txBuf owns the in-flight payload: the winner's queue entry may shift
+	// (popHead) before delivery, so txFrame.Data must not alias it.
 	txNode   *Node
 	txFrame  Frame
+	txBuf    [MaxDataLen]byte
 	txFailed bool
 
 	kickEvent     sim.Event // runs arbitrate
 	deferredKick  sim.Event // runs kick (one extra hop: see complete's error path)
 	completeEvent sim.Event // runs complete
 	rxScratch     []*Node   // reusable receiver snapshot for delivery
+	pwScratch     []*Node   // reusable contender scratch for pickWinner
+
+	// pristine is the node set captured by MarkPristine, in attachment
+	// order; Reset restores exactly this topology.
+	pristine []*Node
 
 	stats busCounters
 }
 
-// busCounters is the atomic backing store for BusStats; see Bus ownership
-// model.
+// busCounters is the backing store for BusStats. Plain fields, written only
+// by the owner goroutine (see Bus ownership model): the counters sit on the
+// per-frame hot path, where the former atomic increments cost several
+// percent of a fleet sweep on their own.
 type busCounters struct {
-	framesDelivered atomic.Uint64
-	errors          atomic.Uint64
-	writeBlocked    atomic.Uint64
-	readBlocked     atomic.Uint64
-	abortedTx       atomic.Uint64
-	busyTime        atomic.Int64 // nanoseconds
+	framesDelivered uint64
+	errors          uint64
+	writeBlocked    uint64
+	readBlocked     uint64
+	abortedTx       uint64
+	busyTime        time.Duration
 }
 
 // New creates a bus driven by the given scheduler.
@@ -159,13 +176,17 @@ func New(sched *sim.Scheduler, cfg Config) *Bus {
 		rate = DefaultBitRate
 	}
 	b := &Bus{
-		sched:   sched,
-		bitTime: time.Second / time.Duration(rate),
-		errRate: cfg.ErrorRate,
-		rng:     sim.NewRNG(cfg.Seed),
-		byName:  map[string]*Node{},
+		sched:     sched,
+		bitTime:   time.Second / time.Duration(rate),
+		errRate:   cfg.ErrorRate,
+		rng:       sim.NewRNG(cfg.Seed),
+		byName:    map[string]*Node{},
+		wireCache: map[wireKey]int{},
 	}
-	b.kickEvent = func(time.Duration) { b.arbitrate() }
+	b.kickEvent = func(time.Duration) {
+		b.kickArmed = false
+		b.arbitrate()
+	}
 	b.deferredKick = func(time.Duration) { b.kick() }
 	b.completeEvent = func(time.Duration) { b.complete() }
 	return b
@@ -178,21 +199,24 @@ func (b *Bus) Scheduler() *sim.Scheduler { return b.sched }
 func (b *Bus) BitTime() time.Duration { return b.bitTime }
 
 // SetTracer installs a callback receiving every TraceEvent. Pass nil to
-// disable tracing. Owner-goroutine only.
+// disable tracing. Owner-goroutine only. The event's Frame payload is only
+// valid during the callback (see Handler); a tracer that retains events
+// must Clone the frame.
 func (b *Bus) SetTracer(fn func(TraceEvent)) {
 	b.tracer = fn
 }
 
-// Stats returns a snapshot of the bus counters. Safe to call from any
-// goroutine.
+// Stats returns a snapshot of the bus counters. Owner-goroutine only, or
+// from another goroutine across a synchronising handoff (see the ownership
+// model above).
 func (b *Bus) Stats() BusStats {
 	return BusStats{
-		FramesDelivered: b.stats.framesDelivered.Load(),
-		Errors:          b.stats.errors.Load(),
-		WriteBlocked:    b.stats.writeBlocked.Load(),
-		ReadBlocked:     b.stats.readBlocked.Load(),
-		AbortedTx:       b.stats.abortedTx.Load(),
-		BusyTime:        time.Duration(b.stats.busyTime.Load()),
+		FramesDelivered: b.stats.framesDelivered,
+		Errors:          b.stats.errors,
+		WriteBlocked:    b.stats.writeBlocked,
+		ReadBlocked:     b.stats.readBlocked,
+		AbortedTx:       b.stats.abortedTx,
+		BusyTime:        b.stats.busyTime,
 	}
 }
 
@@ -263,21 +287,63 @@ func (b *Bus) emit(e TraceEvent) {
 }
 
 func (b *Bus) noteWriteBlocked(n *Node, f Frame) {
-	b.stats.writeBlocked.Add(1)
-	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceWriteBlocked, Node: n.name, Frame: f})
+	b.stats.writeBlocked++
+	if b.tracer != nil {
+		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceWriteBlocked, Node: n.name, Frame: f})
+	}
 }
 
 func (b *Bus) noteReadBlocked(n *Node, f Frame) {
-	b.stats.readBlocked.Add(1)
-	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceReadBlocked, Node: n.name, Frame: f})
+	b.stats.readBlocked++
+	if b.tracer != nil {
+		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceReadBlocked, Node: n.name, Frame: f})
+	}
 }
 
 // kick schedules an arbitration round at the current virtual instant. The
 // one-event deferral models start-of-frame synchronisation: every node that
 // queued a frame "now" contends in the same round instead of the first
-// caller seizing the bus.
+// caller seizing the bus. Rounds are deduplicated: many frames queued at one
+// instant arm a single arbitration event (the extra rounds were no-ops — the
+// first one seizes the bus — so dedup changes no outcome, just event count).
 func (b *Bus) kick() {
+	if b.kickArmed {
+		return
+	}
+	b.kickArmed = true
 	b.sched.After(0, b.kickEvent)
+}
+
+// wireKey identifies a frame's exact wire encoding for the bit-count memo.
+type wireKey struct {
+	id    uint32
+	dlc   uint8
+	flags uint8 // bit 0: extended, bit 1: RTR
+	data  [MaxDataLen]byte
+}
+
+// wireBitsOf is WireBits memoised by frame content.
+func (b *Bus) wireBitsOf(f Frame) (int, error) {
+	var k wireKey
+	k.id, k.dlc = f.ID, f.DLC
+	if f.Extended {
+		k.flags |= 1
+	}
+	if f.RTR {
+		k.flags |= 2
+	}
+	copy(k.data[:], f.Data)
+	if n, ok := b.wireCache[k]; ok {
+		return n, nil
+	}
+	n, err := WireBits(f)
+	if err != nil {
+		return 0, err
+	}
+	if len(b.wireCache) < 4096 { // bound the memo; beyond it, recompute
+		b.wireCache[k] = n
+	}
+	return n, nil
 }
 
 // arbitrate starts a transmission if the bus is idle and someone has a
@@ -291,7 +357,7 @@ func (b *Bus) arbitrate() {
 		return
 	}
 	b.busy = true
-	bits, err := WireBits(frame)
+	bits, err := b.wireBitsOf(frame)
 	if err != nil {
 		// Frames are validated in Send; an encode failure here is a bug.
 		panic(fmt.Errorf("canbus: unencodable queued frame: %w", err))
@@ -299,9 +365,15 @@ func (b *Bus) arbitrate() {
 	dur := time.Duration(bits) * b.bitTime
 	b.txNode = winner
 	b.txFrame = frame
+	if len(frame.Data) > 0 {
+		n := copy(b.txBuf[:], frame.Data)
+		b.txFrame.Data = b.txBuf[:n]
+	}
 	b.txFailed = b.errRate > 0 && b.rng.Bool(b.errRate)
-	b.stats.busyTime.Add(int64(dur))
-	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxStart, Node: winner.name, Frame: frame})
+	b.stats.busyTime += dur
+	if b.tracer != nil {
+		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxStart, Node: winner.name, Frame: frame})
+	}
 	b.sched.After(dur, b.completeEvent)
 }
 
@@ -310,29 +382,32 @@ func (b *Bus) arbitrate() {
 // broken by attachment order, which stands in for the bit-level resolution a
 // real bus performs.
 func (b *Bus) pickWinner() (*Node, Frame, bool) {
+	// Single pass over the stations: contenders are collected into a
+	// reusable scratch while the winner is tracked, so losers are charged
+	// without re-walking every node's queue state.
 	var (
 		winner  *Node
 		best    Frame
 		bestVal uint64
 	)
+	contenders := b.pwScratch[:0]
 	for _, n := range b.nodes {
 		f, ok := n.pendingHead()
 		if !ok {
 			continue
 		}
+		contenders = append(contenders, n)
 		v := f.ArbitrationValue()
 		if winner == nil || v < bestVal {
 			winner, best, bestVal = n, f, v
 		}
 	}
+	b.pwScratch = contenders
 	if winner == nil {
 		return nil, Frame{}, false
 	}
-	for _, n := range b.nodes {
-		if n == winner {
-			continue
-		}
-		if _, ok := n.pendingHead(); ok {
+	for _, n := range contenders {
+		if n != winner {
 			n.noteArbitrationLoss()
 		}
 	}
@@ -352,7 +427,7 @@ func (b *Bus) complete() {
 		// §V-B.2 malicious-node response): the partial frame is abandoned,
 		// nothing is delivered or counted against the detached node, and the
 		// bus frees for the next arbitration round.
-		b.stats.abortedTx.Add(1)
+		b.stats.abortedTx++
 		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxAborted, Node: tx.name, Frame: f})
 		b.busy = false
 		b.kick()
@@ -361,8 +436,8 @@ func (b *Bus) complete() {
 
 	if failed {
 		st := tx.txError()
-		b.stats.errors.Add(1)
-		b.stats.busyTime.Add(int64(errorFrameBits) * int64(b.bitTime))
+		b.stats.errors++
+		b.stats.busyTime += time.Duration(errorFrameBits) * b.bitTime
 		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceError, Node: tx.name, Frame: f})
 		if st == BusOff {
 			b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceBusOff, Node: tx.name, Frame: f})
@@ -376,8 +451,10 @@ func (b *Bus) complete() {
 	}
 
 	tx.popHead()
-	b.stats.framesDelivered.Add(1)
-	b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceDelivered, Node: tx.name, Frame: f})
+	b.stats.framesDelivered++
+	if b.tracer != nil {
+		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceDelivered, Node: tx.name, Frame: f})
+	}
 	b.busy = false
 	// Snapshot receivers into a reusable scratch slice before delivering: a
 	// reentrant handler may Attach/Detach and mutate b.nodes mid-loop. The
@@ -392,11 +469,56 @@ func (b *Bus) complete() {
 	b.kick()
 }
 
+// MarkPristine captures the current topology and per-node configuration as
+// the bus's pristine state: Reset restores exactly this snapshot. Call it
+// once, after static topology construction (car.New does); a bus that was
+// never marked resets to an empty topology. Owner-goroutine only.
+func (b *Bus) MarkPristine() {
+	b.pristine = append(b.pristine[:0], b.nodes...)
+	for _, n := range b.nodes {
+		n.snapshot()
+	}
+}
+
+// Reset restores the bus to its pristine snapshot without allocating: nodes
+// attached after MarkPristine are discarded (and marked detached, so stale
+// references fail safe), snapshot nodes are restored to their captured
+// configuration with all mutable state cleared, counters are zeroed, the
+// tracer is removed and the error-injection RNG is reseeded from cfg. The
+// owning scheduler is NOT touched — reset it first (car.Car.Reset does).
+// Owner-goroutine only.
+func (b *Bus) Reset(cfg Config) {
+	rate := cfg.BitRate
+	if rate <= 0 {
+		rate = DefaultBitRate
+	}
+	b.bitTime = time.Second / time.Duration(rate)
+	b.errRate = cfg.ErrorRate
+	b.rng.Reseed(cfg.Seed)
+	b.busy = false
+	b.kickArmed = false
+	b.txNode, b.txFrame, b.txFailed = nil, Frame{}, false
+	b.tracer = nil
+	for _, n := range b.nodes {
+		if !n.snapped {
+			n.detached = true
+			n.txq = nil
+			delete(b.byName, n.name)
+		}
+	}
+	b.nodes = append(b.nodes[:0], b.pristine...)
+	for _, n := range b.pristine {
+		n.reset()
+		b.byName[n.name] = n // re-admit nodes Detach removed
+	}
+	b.stats = busCounters{}
+}
+
 // Utilisation returns the fraction of elapsed virtual time the bus was busy.
 func (b *Bus) Utilisation() float64 {
 	now := b.sched.Now()
 	if now <= 0 {
 		return 0
 	}
-	return float64(b.stats.busyTime.Load()) / float64(now)
+	return float64(b.stats.busyTime) / float64(now)
 }

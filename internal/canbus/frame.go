@@ -6,6 +6,10 @@
 // The package also defines the InlineFilter seam where the paper's
 // hardware-based policy engine (Fig. 4) is inserted between a node's CAN
 // controller and its transceiver.
+//
+// A Bus is single-owner (see the Bus ownership model) and resettable: after
+// MarkPristine captures the constructed topology, Reset restores it —
+// allocation-free — so fleet workers reuse one bus for thousands of runs.
 package canbus
 
 import (

@@ -8,6 +8,12 @@ import (
 // Handler is the processor-side callback a node application registers to
 // consume frames that survived the inbound filter chain (Fig. 3: the
 // micro-controller / DSP behind the CAN controller).
+//
+// The frame's payload is only valid for the duration of the callback: its
+// Data may alias the bus's in-flight transmission buffer, which is reused
+// by the next transmission (like a receive buffer behind a real
+// controller's ISR). A handler that retains the frame must Clone it; the
+// controller's own mailbox path already does.
 type Handler func(f Frame)
 
 // Controller models the CAN controller of Fig. 3: it parses received frames
@@ -24,6 +30,19 @@ type Controller struct {
 	mailbox     []Frame
 	mailboxCap  int
 	overruns    uint64
+
+	// exact is the direct-mapped fast path built by SetFilters when every
+	// filter is a standard-frame exact match (the common firmware
+	// configuration): one bit per 11-bit identifier. nil when any filter
+	// needs the general mask/code walk. Built bitmaps are immutable, so
+	// reset can restore the pristine one by pointer.
+	exact *[(MaxStandardID + 1) / 64]uint64
+
+	// Pristine snapshot captured by Bus.MarkPristine; reset restores it.
+	pristineFilters []AcceptanceFilter
+	pristineExact   *[(MaxStandardID + 1) / 64]uint64
+	pristineHandler Handler
+	pristineMailCap int
 }
 
 // NewController returns a controller with an unbounded mailbox and no filters.
@@ -34,6 +53,20 @@ func NewController() *Controller {
 // SetFilters replaces the acceptance filter bank. The slice is copied.
 func (c *Controller) SetFilters(filters ...AcceptanceFilter) {
 	c.filters = append([]AcceptanceFilter(nil), filters...)
+	c.exact = nil
+	if len(filters) == 0 {
+		return
+	}
+	for _, f := range filters {
+		if f.Extended || f.Mask != MaxStandardID || f.Code > MaxStandardID {
+			return
+		}
+	}
+	var bm [(MaxStandardID + 1) / 64]uint64
+	for _, f := range filters {
+		bm[f.Code>>6] |= 1 << (f.Code & 63)
+	}
+	c.exact = &bm
 }
 
 // Filters returns a copy of the current filter bank.
@@ -85,6 +118,9 @@ func (c *Controller) accepts(f Frame) bool {
 	if len(c.filters) == 0 {
 		return true
 	}
+	if c.exact != nil {
+		return !f.Extended && c.exact[f.ID>>6]&(1<<(f.ID&63)) != 0
+	}
 	for _, flt := range c.filters {
 		if flt.Matches(f) {
 			return true
@@ -112,11 +148,56 @@ func (c *Controller) receive(f Frame) bool {
 	return true
 }
 
+// snapshot records the controller's current configuration as its pristine
+// state for later reset.
+func (c *Controller) snapshot() {
+	c.pristineFilters = append(c.pristineFilters[:0], c.filters...)
+	c.pristineExact = c.exact
+	c.pristineHandler = c.handler
+	c.pristineMailCap = c.mailboxCap
+}
+
+// reset restores the snapshot configuration and clears all mutable receive
+// state without allocating. The live filter bank shares the snapshot's
+// backing array: filters are only ever read (accepts) or replaced wholesale
+// (SetFilters copies its input), never mutated in place, so the aliasing is
+// safe and avoids re-allocating eight filter banks per vehicle reset.
+func (c *Controller) reset() {
+	c.filters = c.pristineFilters
+	c.exact = c.pristineExact
+	c.handler = c.pristineHandler
+	c.mailboxCap = c.pristineMailCap
+	c.compromised = false
+	c.mailbox = c.mailbox[:0]
+	c.overruns = 0
+}
+
 // Drain returns and clears the mailbox contents.
 func (c *Controller) Drain() []Frame {
 	out := c.mailbox
 	c.mailbox = nil
 	return out
+}
+
+// queued is one transmit-queue entry: the frame value with its payload
+// moved into the entry's inline buffer. Enqueueing therefore allocates
+// nothing — the per-send Frame.Clone used to be the largest allocation
+// source in a fleet sweep.
+type queued struct {
+	f       Frame // f.Data is nil; the payload lives in buf[:dataLen]
+	buf     [MaxDataLen]byte
+	dataLen uint8
+}
+
+// frame reconstitutes the queued frame. The returned frame's Data aliases
+// the queue entry's buffer: valid only until the queue shifts (popHead), so
+// callers that hold on to it must copy first (Bus.arbitrate does).
+func (q *queued) frame() Frame {
+	f := q.f
+	if !f.RTR {
+		f.Data = q.buf[:q.dataLen]
+	}
+	return f
 }
 
 // NodeStats counts per-node traffic and enforcement outcomes.
@@ -156,10 +237,14 @@ type Node struct {
 	ctrl       *Controller
 	inline     InlineFilter
 	counters   ErrorCounters
-	txq        []Frame
+	txq        []queued
 	stats      NodeStats
 	detached   bool
 	responders map[uint32]func() []byte
+
+	// Pristine snapshot captured by Bus.MarkPristine; see Bus.Reset.
+	snapped        bool
+	pristineInline InlineFilter
 }
 
 // Node errors.
@@ -230,7 +315,11 @@ func (n *Node) Send(f Frame) error {
 		n.bus.noteWriteBlocked(n, f)
 		return nil
 	}
-	n.txq = append(n.txq, f.Clone())
+	n.txq = append(n.txq, queued{})
+	q := &n.txq[len(n.txq)-1]
+	q.f = f
+	q.f.Data = nil
+	q.dataLen = uint8(copy(q.buf[:], f.Data))
 	n.bus.kick()
 	return nil
 }
@@ -241,7 +330,7 @@ func (n *Node) pendingHead() (Frame, bool) {
 	if n.detached || len(n.txq) == 0 || n.counters.State() == BusOff {
 		return Frame{}, false
 	}
-	return n.txq[0], true
+	return n.txq[0].frame(), true
 }
 
 // SetRemoteResponder registers an automatic reply for remote transmission
@@ -294,10 +383,17 @@ func (n *Node) deliver(f Frame) {
 	}
 }
 
-// popHead removes the head of the transmit queue after successful transmission.
+// popHead removes the head of the transmit queue after successful
+// transmission. The queue shifts in place rather than re-slicing from the
+// front: n.txq[1:] would walk the backing array forward until its spare
+// capacity hit zero, making every later Send re-allocate the queue (and
+// pinning popped frames). Queues are at most a handful of frames deep, so
+// the copy is cheaper than the garbage.
 func (n *Node) popHead() {
 	if len(n.txq) > 0 {
-		n.txq = n.txq[1:]
+		copy(n.txq, n.txq[1:])
+		n.txq[len(n.txq)-1] = queued{}
+		n.txq = n.txq[:len(n.txq)-1]
 	}
 	n.stats.TxCompleted++
 	n.counters.OnTxSuccess()
@@ -313,6 +409,27 @@ func (n *Node) txError() ErrorState {
 		n.stats.Retransmissions++
 	}
 	return st
+}
+
+// snapshot records the node's current configuration (inline filter plus the
+// controller's filters, handler and mailbox cap) as its pristine state.
+func (n *Node) snapshot() {
+	n.snapped = true
+	n.pristineInline = n.inline
+	n.ctrl.snapshot()
+}
+
+// reset restores the pristine snapshot: configuration back to snapshot
+// values, all mutable state (transmit queue, statistics, error counters,
+// remote responders, detachment) cleared. Allocation-free.
+func (n *Node) reset() {
+	n.inline = n.pristineInline
+	n.ctrl.reset()
+	n.counters.Reset()
+	n.txq = n.txq[:0]
+	n.stats = NodeStats{}
+	n.detached = false
+	clear(n.responders)
 }
 
 // noteArbitrationLoss counts a lost arbitration round.

@@ -3,7 +3,6 @@ package car
 import (
 	"encoding/binary"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/canbus"
@@ -59,13 +58,48 @@ type State struct {
 // Car wires the Fig. 2 topology onto a simulated bus and gives every node
 // the behaviour needed to make Table I's attacks observable. It implements
 // hpe.ModeSource so deployed policy engines follow mode switches.
+//
+// A Car shares its Bus's single-owner execution model: all methods must be
+// called from the goroutine driving the owning scheduler (or from whichever
+// goroutine currently owns the vehicle, with ownership handed over through a
+// synchronising operation). Dropping the former internal lock removed a
+// mutex acquisition from every policy decision (Mode) and every processor
+// reaction (state mutation) on the simulation hot path.
 type Car struct {
 	sched *sim.Scheduler
 	bus   *canbus.Bus
 
-	mu    sync.Mutex
 	mode  policy.Mode
 	state State
+
+	// Station handles and prebuilt frames for the hot helper paths: the
+	// periodic traffic and the functional probes re-send identical frames
+	// thousands of times per fleet sweep, so they are constructed once here
+	// instead of per call (Node.Send clones into the transmit queue, so
+	// sharing the backing payloads is safe).
+	sensors, safety, telematics, doorLocks *canbus.Node
+
+	lockFrame     canbus.Frame
+	unlockFrame   canbus.Frame
+	armFrame      canbus.Frame
+	crashFrame    canbus.Frame
+	obstacleFrame canbus.Frame
+	restoreFrame  canbus.Frame
+	dynamicsFrame canbus.Frame
+	trackingFrame canbus.Frame
+}
+
+// initialState is the observable state of a freshly built car: propulsion
+// enabled, engine running, doors unlocked, alarm disarmed, modem on,
+// tracking active.
+func initialState() State {
+	return State{
+		Propulsion:     true,
+		EPSActive:      true,
+		EngineRunning:  true,
+		ModemEnabled:   true,
+		TrackingActive: true,
+	}
 }
 
 // Config parameterises a Car.
@@ -93,13 +127,7 @@ func New(cfg Config) (*Car, error) {
 		sched: sched,
 		bus:   bus,
 		mode:  ModeNormal,
-		state: State{
-			Propulsion:     true,
-			EPSActive:      true,
-			EngineRunning:  true,
-			ModemEnabled:   true,
-			TrackingActive: true,
-		},
+		state: initialState(),
 	}
 	for _, name := range AllNodes {
 		node, err := bus.Attach(name)
@@ -108,7 +136,39 @@ func New(cfg Config) (*Car, error) {
 		}
 		c.configureNode(node)
 	}
+	bus.MarkPristine()
+	c.sensors, _ = bus.Node(NodeSensors)
+	c.safety, _ = bus.Node(NodeSafety)
+	c.telematics, _ = bus.Node(NodeTelematics)
+	c.doorLocks, _ = bus.Node(NodeDoorLocks)
+	c.lockFrame = canbus.MustDataFrame(IDDoorCommand, []byte{OpLock})
+	c.unlockFrame = canbus.MustDataFrame(IDDoorCommand, []byte{OpUnlock})
+	c.armFrame = canbus.MustDataFrame(IDAlarmControl, []byte{OpLock})
+	c.crashFrame = canbus.MustDataFrame(IDFailSafeTrigger, []byte{0x01})
+	c.obstacleFrame = canbus.MustDataFrame(IDObstacle, []byte{0x01})
+	c.restoreFrame = canbus.MustDataFrame(IDECUCommand, []byte{OpEnable})
+	c.dynamicsFrame = canbus.MustDataFrame(IDSensorDynamics, []byte{0x10, 0x20, 0x30})
+	c.trackingFrame = canbus.MustDataFrame(IDTrackingReport, []byte{0x01})
 	return c, nil
+}
+
+// Reset restores the car to the state New(cfg) would return, without
+// rebuilding anything: the scheduler drains in place, the bus snaps back to
+// its pristine Fig. 2 topology (nodes attached since construction — e.g. an
+// outside attacker — are discarded, inline filters and acceptance filters
+// restored, counters zeroed, RNG reseeded from cfg), the mode returns to
+// Normal and the observable state to its power-on values. Allocation-free on
+// the steady state, which is what lets fleet workers reuse one vehicle for
+// thousands of scenario runs.
+func (c *Car) Reset(cfg Config) {
+	c.sched.Reset()
+	c.bus.Reset(canbus.Config{
+		BitRate:   cfg.BitRate,
+		ErrorRate: cfg.ErrorRate,
+		Seed:      cfg.Seed,
+	})
+	c.mode = ModeNormal
+	c.state = initialState()
 }
 
 // MustNew is New that panics on error; topology construction only fails on
@@ -131,32 +191,16 @@ func (c *Car) Bus() *canbus.Bus { return c.bus }
 func (c *Car) Node(name string) (*canbus.Node, bool) { return c.bus.Node(name) }
 
 // Mode implements hpe.ModeSource.
-func (c *Car) Mode() policy.Mode {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.mode
-}
+func (c *Car) Mode() policy.Mode { return c.mode }
 
 // SetMode switches the car's operating mode (Normal / RemoteDiag / FailSafe).
-func (c *Car) SetMode(m policy.Mode) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.mode = m
-}
+func (c *Car) SetMode(m policy.Mode) { c.mode = m }
 
 // State returns a snapshot of the vehicle state.
-func (c *Car) State() State {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.state
-}
+func (c *Car) State() State { return c.state }
 
-// mutate applies fn to the state under the lock.
-func (c *Car) mutate(fn func(*State)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fn(&c.state)
-}
+// mutate applies fn to the state.
+func (c *Car) mutate(fn func(*State)) { fn(&c.state) }
 
 // configureNode installs the acceptance filters (from the catalog's reader
 // lists) and the processor behaviour for one station.
@@ -294,22 +338,27 @@ func (c *Car) send(from string, id uint32, data ...byte) error {
 // StartTraffic schedules the periodic legitimate traffic of the car over
 // the given horizon (relative to the current virtual time): sensor
 // broadcasts, the EV-ECU vehicle-status message and telematics tracking
-// reports. speed is the simulated vehicle speed.
+// reports. speed is the simulated vehicle speed. The frames are built once
+// and shared by every tick (Send clones into the transmit queue).
 func (c *Car) StartTraffic(period, horizon time.Duration, speed uint16) {
 	var speedBuf [2]byte
 	binary.BigEndian.PutUint16(speedBuf[:], speed)
+	speedFrame := canbus.MustDataFrame(IDSensorSpeed, speedBuf[:])
+	statusFrame := canbus.MustDataFrame(IDVehicleStatus, []byte{speedBuf[0], speedBuf[1], 0x00})
+	evecu, _ := c.bus.Node(NodeEVECU)
+	tick := func(time.Duration) {
+		// Sensors broadcast speed and dynamics.
+		_ = c.sensors.Send(speedFrame)
+		_ = c.sensors.Send(c.dynamicsFrame)
+		// EV-ECU publishes the vehicle status consumed by infotainment.
+		_ = evecu.Send(statusFrame)
+		// Telematics uploads a tracking report while the modem is up.
+		if c.state.ModemEnabled {
+			_ = c.telematics.Send(c.trackingFrame)
+		}
+	}
 	for at := period; at <= horizon; at += period {
-		c.sched.After(at, func(time.Duration) {
-			// Sensors broadcast speed and dynamics.
-			_ = c.send(NodeSensors, IDSensorSpeed, speedBuf[0], speedBuf[1])
-			_ = c.send(NodeSensors, IDSensorDynamics, 0x10, 0x20, 0x30)
-			// EV-ECU publishes the vehicle status consumed by infotainment.
-			_ = c.send(NodeEVECU, IDVehicleStatus, speedBuf[0], speedBuf[1], 0x00)
-			// Telematics uploads a tracking report while the modem is up.
-			if c.State().ModemEnabled {
-				_ = c.send(NodeTelematics, IDTrackingReport, 0x01)
-			}
-		})
+		c.sched.After(at, tick)
 	}
 }
 
@@ -317,17 +366,17 @@ func (c *Car) StartTraffic(period, horizon time.Duration, speed uint16) {
 // policy model does not break required functionality (no false positives).
 
 // LockDoors issues a remote lock via telematics.
-func (c *Car) LockDoors() error { return c.send(NodeTelematics, IDDoorCommand, OpLock) }
+func (c *Car) LockDoors() error { return c.telematics.Send(c.lockFrame) }
 
 // UnlockDoors issues a remote unlock via telematics.
-func (c *Car) UnlockDoors() error { return c.send(NodeTelematics, IDDoorCommand, OpUnlock) }
+func (c *Car) UnlockDoors() error { return c.telematics.Send(c.unlockFrame) }
 
 // ArmAlarm arms the alarm from the door-lock module.
-func (c *Car) ArmAlarm() error { return c.send(NodeDoorLocks, IDAlarmControl, OpLock) }
+func (c *Car) ArmAlarm() error { return c.doorLocks.Send(c.armFrame) }
 
 // TriggerCrash raises the fail-safe trigger from the safety module, as a
 // genuine crash would.
-func (c *Car) TriggerCrash() error { return c.send(NodeSafety, IDFailSafeTrigger, 0x01) }
+func (c *Car) TriggerCrash() error { return c.safety.Send(c.crashFrame) }
 
 // exfilMarker tags forged tracking reports used by the privacy attack.
 const exfilMarker byte = 0xEE
@@ -335,10 +384,10 @@ const exfilMarker byte = 0xEE
 // ObstacleStop sends the sensors' imminent-obstacle report, which makes the
 // EV-ECU cut propulsion — one of the legitimate disablement circumstances
 // of §V-A (approaching a stationary object when parking).
-func (c *Car) ObstacleStop() error { return c.send(NodeSensors, IDObstacle, 0x01) }
+func (c *Car) ObstacleStop() error { return c.sensors.Send(c.obstacleFrame) }
 
 // RestorePropulsion re-enables propulsion from the safety module.
-func (c *Car) RestorePropulsion() error { return c.send(NodeSafety, IDECUCommand, OpEnable) }
+func (c *Car) RestorePropulsion() error { return c.safety.Send(c.restoreFrame) }
 
 // Run drains the simulation until the given virtual deadline.
 func (c *Car) Run(until time.Duration) { c.sched.RunUntil(until) }

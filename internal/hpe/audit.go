@@ -93,7 +93,7 @@ func (a *Auditor) Len() int {
 
 // AttachAuditor installs (or, with nil, removes) the engine's auditor.
 func (e *Engine) AttachAuditor(a *Auditor) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lock()
+	defer e.unlock()
 	e.auditor = a
 }

@@ -90,12 +90,27 @@ type Stats struct {
 }
 
 // Engine is one node's policy engine instance.
+//
+// By default an Engine is safe for concurrent use: the table swap is atomic
+// and the statistics are mutex-protected. A fleet worker that confines an
+// engine to one goroutine can call SetSingleOwner(true) to drop the mutex
+// from the decision hot path (the same single-owner contract canbus.Bus
+// carries).
 type Engine struct {
 	subject string
 	modes   ModeSource
 	cycles  CycleModel
+	single  bool // single-owner mode: skip the stats mutex
 
-	table atomic.Pointer[policy.NodeTable]
+	table  atomic.Pointer[policy.NodeTable]
+	source *policy.Compiled // the compiled policy the table came from
+
+	// Resolved mode-table cache, maintained only in single-owner mode: it
+	// skips the per-decision map lookup NodeTable.Table performs. The
+	// concurrent default path must not touch it (Install may race Decide).
+	cacheTable *policy.NodeTable
+	cacheMode  policy.Mode
+	cacheMT    policy.ModeTable
 
 	mu      sync.Mutex
 	stats   Stats
@@ -117,6 +132,25 @@ func New(subject string, modes ModeSource, cycles CycleModel) *Engine {
 // Subject returns the node name this engine protects.
 func (e *Engine) Subject() string { return e.subject }
 
+// SetSingleOwner switches the engine into (or out of) single-owner mode: the
+// caller asserts every Decide/Stats/Install/Reset happens on one goroutine,
+// and the engine stops taking its internal mutex. Must itself be called by
+// that owner, before any concurrent use.
+func (e *Engine) SetSingleOwner(on bool) { e.single = on }
+
+// lock and unlock guard the stats; no-ops in single-owner mode.
+func (e *Engine) lock() {
+	if !e.single {
+		e.mu.Lock()
+	}
+}
+
+func (e *Engine) unlock() {
+	if !e.single {
+		e.mu.Unlock()
+	}
+}
+
 // Install loads the node's table from a compiled policy. It is the only
 // mutation path, used by the secure update mechanism; the swap is atomic
 // with respect to concurrent decisions.
@@ -125,19 +159,52 @@ func (e *Engine) Install(c *policy.Compiled) error {
 		return fmt.Errorf("hpe: nil compiled policy")
 	}
 	e.table.Store(c.Node(e.subject))
-	e.mu.Lock()
+	e.lock()
+	e.source = c
 	e.stats.Installs++
-	e.mu.Unlock()
+	e.unlock()
 	return nil
+}
+
+// Reinstall is Install specialised for re-provisioning a pooled engine: when
+// the compiled policy is the one already installed, the resolved lookup
+// tables are reused instead of being re-derived (Compiled.Node allocates a
+// fresh deny-all table for unknown subjects on every call, and even the
+// known-subject path pays a map lookup). A different compiled policy falls
+// back to a full Install.
+func (e *Engine) Reinstall(c *policy.Compiled) error {
+	if c == nil {
+		return fmt.Errorf("hpe: nil compiled policy")
+	}
+	e.lock()
+	same := e.source == c && e.table.Load() != nil
+	if same {
+		e.stats.Installs++
+	}
+	e.unlock()
+	if same {
+		return nil
+	}
+	return e.Install(c)
 }
 
 // Installed reports whether a policy table has been loaded.
 func (e *Engine) Installed() bool { return e.table.Load() != nil }
 
+// Reset zeroes the engine's counters, returning it to the statistical state
+// of a freshly constructed engine. The installed table, mode source, cycle
+// model and attached auditor are kept: a reset engine decides exactly as it
+// did before.
+func (e *Engine) Reset() {
+	e.lock()
+	e.stats = Stats{}
+	e.unlock()
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lock()
+	defer e.unlock()
 	return e.stats
 }
 
@@ -151,7 +218,16 @@ func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
 	verdict := canbus.Block
 	t := e.table.Load()
 	if t != nil {
-		mt := t.Table(e.modes.Mode())
+		var mt policy.ModeTable
+		mode := e.modes.Mode()
+		if e.single && t == e.cacheTable && mode == e.cacheMode {
+			mt = e.cacheMT
+		} else {
+			mt = t.Table(mode)
+			if e.single {
+				e.cacheTable, e.cacheMode, e.cacheMT = t, mode, mt
+			}
+		}
 		switch dir {
 		case canbus.Read:
 			if mt.Reads != nil && mt.Reads.Contains(f.ID) {
@@ -164,7 +240,11 @@ func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
 		}
 	}
 
-	e.mu.Lock()
+	// Lock branches inlined by hand: the helper calls showed up in fleet
+	// profiles at one call per frame per node.
+	if !e.single {
+		e.mu.Lock()
+	}
 	e.stats.Decisions++
 	e.stats.Cycles += e.cycles.PerDecision()
 	switch {
@@ -178,7 +258,9 @@ func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
 		e.stats.WritesBlocked++
 	}
 	auditor := e.auditor
-	e.mu.Unlock()
+	if !e.single {
+		e.mu.Unlock()
+	}
 	if verdict == canbus.Block && auditor != nil {
 		auditor.record(e.subject, dir, e.modes.Mode(), f)
 	}

@@ -1,7 +1,10 @@
 // Package mac implements a minimal SELinux-style mandatory access control
 // server: security contexts, type-enforcement allow rules grouped into
 // loadable modules, an access-vector cache (AVC), enforcing/permissive
-// modes and an audit log.
+// modes and an audit log. Checks resolve against a dense rule index
+// precomputed at module load, so the hot path never scans modules or
+// allocates; a Reset restores a loaded server to its pristine state for
+// reuse across simulated vehicles.
 //
 // The paper (§V-B.1) positions SELinux as the software half of policy
 // enforcement — "checking application permission boundaries and identifying
@@ -169,6 +172,17 @@ type avcKey struct {
 	class    Class
 }
 
+// permBits is a bitmask of granted permissions: bit i set means the
+// permission interned at bit position i is granted. Permissions beyond 64
+// distinct names spill into the server's overflow map.
+type permBits uint64
+
+// ruleKey indexes the dense rule index: interned source type, target type
+// and class identifiers.
+type ruleKey struct {
+	src, tgt, class uint32
+}
+
 // Stats counts server activity.
 type Stats struct {
 	Checks    uint64
@@ -183,11 +197,24 @@ type Stats struct {
 
 // Server is the MAC policy server. The zero value is unusable; construct
 // with NewServer.
+//
+// By default a Server is safe for concurrent use. A caller that confines the
+// server to a single goroutine (the fleet engine's per-worker arenas do) can
+// construct it WithSingleOwner to drop the mutex from the Check hot path.
+//
+// Rule resolution is backed by a dense index precomputed at Load/Unload
+// time: source/target types and classes are interned to dense integer
+// identifiers and each (src, tgt, class) triple maps to a bitmask of granted
+// permissions, so a check — with or without the AVC — costs a handful of map
+// probes and allocates nothing, instead of the former linear scan over every
+// loaded module that materialised a fresh permission map per AVC miss.
 type Server struct {
 	mu          sync.Mutex
+	single      bool // single-owner mode: skip the mutex
 	modules     map[string]*Module
 	mode        EnforceMode
-	avc         map[avcKey]map[Permission]bool
+	initMode    EnforceMode // mode configured at construction, for Reset
+	avc         map[avcKey]permBits
 	avcEnabled  bool
 	avcCap      int
 	compromised bool
@@ -195,6 +222,13 @@ type Server struct {
 	auditCap    int
 	seq         uint64
 	stats       Stats
+
+	// Dense rule index, rebuilt by reindexLocked on every Load/Unload.
+	typeIDs  map[string]uint32
+	classIDs map[Class]uint32
+	permIDs  map[Permission]uint32 // bit positions, < 64
+	index    map[ruleKey]permBits
+	overflow map[ruleKey]map[Permission]bool // permissions past 64 bit positions
 }
 
 // Option configures a Server.
@@ -212,6 +246,12 @@ func WithAVCCapacity(n int) Option { return func(s *Server) { s.avcCap = n } }
 // WithAuditCapacity bounds the in-memory audit ring (default 1024).
 func WithAuditCapacity(n int) Option { return func(s *Server) { s.auditCap = n } }
 
+// WithSingleOwner confines the server to a single goroutine: the caller
+// asserts every method call happens on one goroutine (or with ownership
+// handed over through a synchronising operation), and the server stops
+// taking its internal mutex on every check.
+func WithSingleOwner() Option { return func(s *Server) { s.single = true } }
+
 // NewServer creates a MAC server with no modules loaded. With no modules
 // every access is denied: type enforcement is default-deny, like the
 // policy engine.
@@ -219,28 +259,46 @@ func NewServer(opts ...Option) *Server {
 	s := &Server{
 		modules:    map[string]*Module{},
 		mode:       Enforcing,
-		avc:        map[avcKey]map[Permission]bool{},
+		avc:        map[avcKey]permBits{},
 		avcEnabled: true,
 		avcCap:     4096,
 		auditCap:   1024,
+		typeIDs:    map[string]uint32{},
+		classIDs:   map[Class]uint32{},
+		permIDs:    map[Permission]uint32{},
+		index:      map[ruleKey]permBits{},
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.initMode = s.mode
 	return s
+}
+
+// lock and unlock guard server state; no-ops in single-owner mode.
+func (s *Server) lock() {
+	if !s.single {
+		s.mu.Lock()
+	}
+}
+
+func (s *Server) unlock() {
+	if !s.single {
+		s.mu.Unlock()
+	}
 }
 
 // Mode returns the current enforcement mode.
 func (s *Server) Mode() EnforceMode {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	return s.mode
 }
 
 // SetMode switches between enforcing and permissive.
 func (s *Server) SetMode(m EnforceMode) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	s.mode = m
 }
 
@@ -250,8 +308,8 @@ func (s *Server) Load(m *Module) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	if old, ok := s.modules[m.Name]; ok && m.Version <= old.Version {
 		return fmt.Errorf("mac: module %q version %d not newer than loaded %d",
 			m.Name, m.Version, old.Version)
@@ -259,28 +317,89 @@ func (s *Server) Load(m *Module) error {
 	cp := *m
 	cp.Rules = append([]AllowRule(nil), m.Rules...)
 	s.modules[m.Name] = &cp
-	s.avc = map[avcKey]map[Permission]bool{}
+	s.reindexLocked()
 	s.stats.Loads++
 	return nil
 }
 
 // Unload removes a module and invalidates the AVC.
 func (s *Server) Unload(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	if _, ok := s.modules[name]; !ok {
 		return false
 	}
 	delete(s.modules, name)
-	s.avc = map[avcKey]map[Permission]bool{}
+	s.reindexLocked()
 	s.stats.Unloads++
 	return true
 }
 
+// reindexLocked rebuilds the dense rule index from the loaded modules and
+// flushes the AVC. Modules are walked in sorted name order and rules in
+// declaration order, so interned identifiers — and therefore every
+// downstream decision and statistic — are deterministic for a given module
+// set regardless of load history.
+func (s *Server) reindexLocked() {
+	clear(s.typeIDs)
+	clear(s.classIDs)
+	clear(s.permIDs)
+	clear(s.index)
+	clear(s.avc)
+	s.overflow = nil
+	names := make([]string, 0, len(s.modules))
+	for n := range s.modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, r := range s.modules[name].Rules {
+			key := ruleKey{
+				src:   internID(s.typeIDs, r.SourceType),
+				tgt:   internID(s.typeIDs, r.TargetType),
+				class: internID(s.classIDs, r.Class),
+			}
+			bits := s.index[key]
+			for _, p := range r.Perms {
+				if pid, ok := s.permIDs[p]; ok {
+					bits |= 1 << pid
+				} else if next := uint32(len(s.permIDs)); next < 64 {
+					s.permIDs[p] = next
+					bits |= 1 << next
+				} else {
+					// 65th+ distinct permission: spill into the overflow map,
+					// still precomputed here so checks never allocate.
+					if s.overflow == nil {
+						s.overflow = map[ruleKey]map[Permission]bool{}
+					}
+					ov := s.overflow[key]
+					if ov == nil {
+						ov = map[Permission]bool{}
+						s.overflow[key] = ov
+					}
+					ov[p] = true
+				}
+			}
+			s.index[key] = bits
+		}
+	}
+}
+
+// internID returns the dense identifier for v, assigning the next one on
+// first sight.
+func internID[K comparable](m map[K]uint32, v K) uint32 {
+	if id, ok := m[v]; ok {
+		return id
+	}
+	id := uint32(len(m))
+	m[v] = id
+	return id
+}
+
 // Modules returns the loaded module names, sorted.
 func (s *Server) Modules() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	out := make([]string, 0, len(s.modules))
 	for n := range s.modules {
 		out = append(out, n)
@@ -293,22 +412,22 @@ func (s *Server) Modules() []string {
 // subsequent checks are bypassed (allowed without consulting policy), the
 // way a rooted kernel no longer enforces its own LSM hooks.
 func (s *Server) CompromiseKernel() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	s.compromised = true
 }
 
 // Compromised reports whether the kernel-compromise injection is active.
 func (s *Server) Compromised() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	return s.compromised
 }
 
 // Restore clears the compromise injection (re-flash / reboot from clean image).
 func (s *Server) Restore() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	s.compromised = false
 }
 
@@ -316,8 +435,8 @@ func (s *Server) Restore() {
 // modules; the result is cached. Audit records are appended for denials and
 // for bypassed checks.
 func (s *Server) Check(src, tgt Context, class Class, perm Permission) Decision {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	s.stats.Checks++
 	if s.compromised {
 		s.stats.Bypassed++
@@ -340,35 +459,73 @@ func (s *Server) Check(src, tgt Context, class Class, perm Permission) Decision 
 	return Decision{Allowed: allowed, Granted: granted}
 }
 
-// lookupLocked resolves a permission, using the AVC when enabled.
+// lookupLocked resolves a permission against the dense rule index, using
+// the AVC when enabled. Allocation-free on every path.
 func (s *Server) lookupLocked(srcType, tgtType string, class Class, perm Permission) bool {
-	key := avcKey{src: srcType, tgt: tgtType, class: class}
+	var bits permBits
 	if s.avcEnabled {
-		if perms, ok := s.avc[key]; ok {
+		key := avcKey{src: srcType, tgt: tgtType, class: class}
+		cached, ok := s.avc[key]
+		if ok {
 			s.stats.AVCHits++
-			return perms[perm]
-		}
-		s.stats.AVCMisses++
-	}
-	perms := map[Permission]bool{}
-	for _, m := range s.modules {
-		for _, r := range m.Rules {
-			if r.SourceType == srcType && r.TargetType == tgtType && r.Class == class {
-				for _, p := range r.Perms {
-					perms[p] = true
-				}
+			bits = cached
+		} else {
+			s.stats.AVCMisses++
+			bits = s.resolveBitsLocked(srcType, tgtType, class)
+			if len(s.avc) >= s.avcCap {
+				// Full cache: drop it entirely. Real AVCs evict LRU; wholesale
+				// invalidation keeps the model simple and still bounded.
+				clear(s.avc)
 			}
+			s.avc[key] = bits
 		}
+	} else {
+		bits = s.resolveBitsLocked(srcType, tgtType, class)
 	}
-	if s.avcEnabled {
-		if len(s.avc) >= s.avcCap {
-			// Full cache: drop it entirely. Real AVCs evict LRU; wholesale
-			// invalidation keeps the model simple and still bounded.
-			s.avc = map[avcKey]map[Permission]bool{}
-		}
-		s.avc[key] = perms
+	if pid, ok := s.permIDs[perm]; ok {
+		return bits&(1<<pid) != 0
 	}
-	return perms[perm]
+	if s.overflow != nil {
+		return s.overflowGrantedLocked(srcType, tgtType, class, perm)
+	}
+	return false
+}
+
+// resolveBitsLocked computes the granted-permission bitmask for a triple
+// from the dense index. Types or classes no rule mentions resolve to the
+// empty mask (default deny).
+func (s *Server) resolveBitsLocked(srcType, tgtType string, class Class) permBits {
+	sid, ok := s.typeIDs[srcType]
+	if !ok {
+		return 0
+	}
+	tid, ok := s.typeIDs[tgtType]
+	if !ok {
+		return 0
+	}
+	cid, ok := s.classIDs[class]
+	if !ok {
+		return 0
+	}
+	return s.index[ruleKey{src: sid, tgt: tid, class: cid}]
+}
+
+// overflowGrantedLocked checks the precomputed spill map for permissions
+// past the 64 bitmask positions.
+func (s *Server) overflowGrantedLocked(srcType, tgtType string, class Class, perm Permission) bool {
+	sid, ok := s.typeIDs[srcType]
+	if !ok {
+		return false
+	}
+	tid, ok := s.typeIDs[tgtType]
+	if !ok {
+		return false
+	}
+	cid, ok := s.classIDs[class]
+	if !ok {
+		return false
+	}
+	return s.overflow[ruleKey{src: sid, tgt: tid, class: cid}][perm]
 }
 
 func (s *Server) auditLocked(src, tgt Context, class Class, perm Permission, allowed bool, reason string) {
@@ -386,14 +543,34 @@ func (s *Server) auditLocked(src, tgt Context, class Class, perm Permission, all
 
 // Audit returns a copy of the audit log (oldest first).
 func (s *Server) Audit() []AuditRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	return append([]AuditRecord(nil), s.audit...)
 }
 
 // Stats returns a snapshot of server counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
+	defer s.unlock()
 	return s.stats
+}
+
+// Reset restores the server to its state immediately after construction and
+// module loading, without releasing memory: the kernel-compromise injection
+// is cleared, the enforcement mode returns to its constructed value, the
+// AVC is flushed, the audit log and its sequence are emptied, and all
+// statistics except the Loads/Unloads module-lifecycle counters are zeroed.
+// Loaded modules and the precomputed rule index are kept — that is the
+// point: a reset server answers every Check exactly as a freshly built one
+// loaded with the same modules, at zero rebuild cost.
+func (s *Server) Reset() {
+	s.lock()
+	defer s.unlock()
+	s.compromised = false
+	s.mode = s.initMode
+	clear(s.avc)
+	s.audit = s.audit[:0]
+	s.seq = 0
+	loads, unloads := s.stats.Loads, s.stats.Unloads
+	s.stats = Stats{Loads: loads, Unloads: unloads}
 }

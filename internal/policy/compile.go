@@ -9,6 +9,11 @@ import (
 // table, mirroring the bounded CAM capacity of a real policy engine.
 const TableLimit = 4096
 
+// MaxStandardID is the largest 11-bit CAN identifier the bitmap lookup
+// covers directly (canbus.MaxStandardID, restated to keep policy free of a
+// canbus dependency).
+const MaxStandardID = 0x7FF
+
 // LookupKind selects the data structure backing a compiled identifier
 // table. The choice is an ablation axis in the benchmarks: a real HPE is a
 // CAM (constant time), software implementations pick among these.
@@ -22,6 +27,11 @@ const (
 	LookupSorted
 	// LookupLinear uses an unsorted slice with linear scan.
 	LookupLinear
+	// LookupBitmap uses a 2048-bit direct-mapped bitmap over the standard
+	// 11-bit identifier space — the closest software analogue of the CAM a
+	// real policy engine ships, and the default when every identifier fits.
+	// Tables containing extended identifiers fall back to LookupHash.
+	LookupBitmap
 )
 
 // String returns the lookup kind name.
@@ -33,6 +43,8 @@ func (k LookupKind) String() string {
 		return "sorted"
 	case LookupLinear:
 		return "linear"
+	case LookupBitmap:
+		return "bitmap"
 	default:
 		return "invalid"
 	}
@@ -70,6 +82,30 @@ func (s sortedLookup) Contains(id uint32) bool {
 func (s sortedLookup) Len() int      { return len(s) }
 func (s sortedLookup) IDs() []uint32 { return append([]uint32(nil), s...) }
 
+// bitmapLookup covers the standard 11-bit identifier space with one bit per
+// identifier: a Contains is two shifts and a mask, no hashing.
+type bitmapLookup struct {
+	bits [(MaxStandardID + 1) / 64]uint64
+	n    int
+}
+
+func (b *bitmapLookup) Contains(id uint32) bool {
+	if id > MaxStandardID {
+		return false
+	}
+	return b.bits[id>>6]&(1<<(id&63)) != 0
+}
+func (b *bitmapLookup) Len() int { return b.n }
+func (b *bitmapLookup) IDs() []uint32 {
+	out := make([]uint32, 0, b.n)
+	for id := uint32(0); id <= MaxStandardID; id++ {
+		if b.bits[id>>6]&(1<<(id&63)) != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 type linearLookup []uint32
 
 func (l linearLookup) Contains(id uint32) bool {
@@ -90,6 +126,21 @@ func (l linearLookup) IDs() []uint32 {
 // NewIDLookup builds a lookup of the requested kind over ids.
 func NewIDLookup(kind LookupKind, ids []uint32) (IDLookup, error) {
 	switch kind {
+	case LookupBitmap:
+		for _, id := range ids {
+			if id > MaxStandardID {
+				// Extended identifiers exceed the direct-mapped range.
+				return NewIDLookup(LookupHash, ids)
+			}
+		}
+		b := &bitmapLookup{}
+		for _, id := range ids {
+			if b.bits[id>>6]&(1<<(id&63)) == 0 {
+				b.bits[id>>6] |= 1 << (id & 63)
+				b.n++
+			}
+		}
+		return b, nil
 	case LookupHash:
 		h := make(hashLookup, len(ids))
 		for _, id := range ids {
@@ -171,7 +222,8 @@ type CompileOptions struct {
 	Subjects []string
 	// Modes lists every operating mode of the device. Required.
 	Modes []Mode
-	// Lookup selects the table data structure; LookupHash if zero.
+	// Lookup selects the table data structure; LookupBitmap if zero
+	// (falling back per table to LookupHash for extended identifiers).
 	Lookup LookupKind
 	// TableLimit overrides the per-table identifier cap; TableLimit if zero.
 	TableLimit int
@@ -195,7 +247,7 @@ func Compile(set *Set, opts CompileOptions) (*Compiled, error) {
 	}
 	kind := opts.Lookup
 	if kind == 0 {
-		kind = LookupHash
+		kind = LookupBitmap
 	}
 	limit := opts.TableLimit
 	if limit == 0 {

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSchedulerResetEquivalence drives a scheduler, resets it, and checks it
+// then behaves exactly like a freshly constructed one for the same schedule.
+func TestSchedulerResetEquivalence(t *testing.T) {
+	drive := func(s *Scheduler) []time.Duration {
+		var fired []time.Duration
+		s.After(3*time.Millisecond, func(now time.Duration) { fired = append(fired, now) })
+		s.After(time.Millisecond, func(now time.Duration) {
+			fired = append(fired, now)
+			s.After(time.Millisecond, func(now time.Duration) { fired = append(fired, now) })
+		})
+		h := s.After(2*time.Millisecond, func(now time.Duration) { t.Error("cancelled event fired") })
+		h.Cancel()
+		s.Run()
+		return fired
+	}
+
+	used := &Scheduler{}
+	// Dirty the scheduler: pending events, cancelled events, advanced clock.
+	used.After(time.Millisecond, func(time.Duration) {})
+	used.After(5*time.Millisecond, func(time.Duration) { t.Error("event survived reset") })
+	stale := used.After(7*time.Millisecond, func(time.Duration) {})
+	used.RunSteps(1)
+	used.Reset()
+
+	if used.Now() != 0 || used.Pending() != 0 || used.Steps() != 0 {
+		t.Fatalf("reset state: now=%v pending=%d steps=%d", used.Now(), used.Pending(), used.Steps())
+	}
+	// A pre-reset handle must not cancel whatever recycled its slot.
+	stale.Cancel()
+
+	fresh := &Scheduler{}
+	got, want := drive(used), drive(fresh)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, fresh at %v", i, got[i], want[i])
+		}
+	}
+	if used.Steps() != fresh.Steps() {
+		t.Errorf("steps %d vs fresh %d", used.Steps(), fresh.Steps())
+	}
+}
+
+// TestSchedulerResetAllocationFree checks that the schedule/reset cycle
+// reuses the recycled items instead of allocating.
+func TestSchedulerResetAllocationFree(t *testing.T) {
+	s := &Scheduler{}
+	fn := Event(func(time.Duration) {})
+	// Warm the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	s.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.After(time.Duration(i)*time.Microsecond, fn)
+		}
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule/reset cycle allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestRNGReseed checks Reseed restores the exact NewRNG stream.
+func TestRNGReseed(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xDEADBEEF} {
+		r := NewRNG(seed)
+		want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+		r.Reseed(seed)
+		for i, w := range want {
+			if got := r.Uint64(); got != w {
+				t.Errorf("seed %#x draw %d: got %#x want %#x", seed, i, got, w)
+			}
+		}
+	}
+}

@@ -17,6 +17,15 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Reseed restores the generator to the state NewRNG(seed) would produce,
+// allowing a long-lived simulation component to be reset in place.
+func (r *RNG) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r.state = seed
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

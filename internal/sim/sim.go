@@ -5,6 +5,10 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled, which keeps simulations fully deterministic: two runs with the
 // same seed and the same schedule produce identical traces.
+//
+// Schedulers are built for reuse: heap items recycle through a free list,
+// and Reset restores a dirty scheduler to its zero state without releasing
+// memory, so long-lived simulation workers schedule without allocating.
 package sim
 
 import (
@@ -189,4 +193,18 @@ func (s *Scheduler) RunSteps(n int) int {
 		ran++
 	}
 	return ran
+}
+
+// Reset restores the scheduler to its pristine zero state — virtual time 0,
+// empty queue, zeroed step and sequence counters — without releasing memory:
+// every queued item is recycled into the free list, so a reset scheduler
+// schedules without allocating. Handles issued before the reset are
+// invalidated (their Cancel becomes a no-op), exactly as if their events had
+// already fired.
+func (s *Scheduler) Reset() {
+	for _, it := range s.events {
+		s.recycle(it)
+	}
+	s.events = s.events[:0]
+	s.now, s.seq, s.steps = 0, 0, 0
 }
