@@ -9,6 +9,7 @@
 //	C1  BenchmarkClaimResponseCycle        — §V-A.3 policy-vs-redesign claim
 //	C2  BenchmarkClaimEnforcementRobustness — §V-B.2 firmware-compromise claim
 //	E3  BenchmarkFleetSweep                — fleet engine scaling {1,10,100,1000}
+//	E4  BenchmarkCampaignSweep             — procedural campaign sweeps (lite + quickstart)
 //
 // plus the DESIGN.md §5 ablations (HPE lookup structure, AVC cache).
 // Domain metrics are attached via b.ReportMetric so `go test -bench` prints
@@ -17,11 +18,13 @@ package repro_test
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
 	"repro/internal/attack"
 	"repro/internal/behaviour"
+	"repro/internal/campaign"
 	"repro/internal/canbus"
 	"repro/internal/car"
 	"repro/internal/core"
@@ -458,6 +461,90 @@ func BenchmarkFleetSweep(b *testing.B) {
 			b.ReportMetric(fr.MeanUtilisation*100, "bus_util_%")
 		})
 	}
+}
+
+// loadCampaign parses and compiles a shipped campaign spec.
+func loadCampaign(b *testing.B, path string) *campaign.Plan {
+	b.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := campaign.Parse(string(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := (campaign.Compiler{}).Compile(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+// BenchmarkCampaignSweep (E4) sweeps the shipped campaign specs across a
+// simulated fleet on the pooled engine. The lite spec matches
+// BenchmarkFleetSweep's per-vehicle workload (3 scenarios × 2 regimes) and
+// measures raw campaign throughput at fleet=1000; the quickstart spec
+// expands to 210 distinct scenarios (258 cells) per vehicle, so its
+// vehicles/s is lower by construction and cells/s is the comparable unit.
+func BenchmarkCampaignSweep(b *testing.B) {
+	cases := []struct {
+		name  string
+		path  string
+		fleet int
+	}{
+		{"lite/fleet=1000", "examples/campaigns/lite.campaign", 1000},
+		{"quickstart/fleet=100", "examples/campaigns/quickstart.campaign", 100},
+	}
+	for _, tc := range cases {
+		plan := loadCampaign(b, tc.path)
+		b.Run(tc.name, func(b *testing.B) {
+			var rep *campaign.CampaignReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = campaign.Sweep(plan, campaign.SweepConfig{
+					Fleet:    tc.fleet,
+					RootSeed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// The first family is always the Table I reference block;
+				// under the HPE it must block every run.
+				if rep.Families[0].Regimes[len(rep.Families[0].Regimes)-1].Summary.BlockRate() != 1.0 {
+					b.Fatal("campaign sweep lost the HPE block-rate invariant")
+				}
+			}
+			b.ReportMetric(float64(tc.fleet)*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+			b.ReportMetric(float64(rep.Cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+			b.ReportMetric(float64(rep.ScenariosPerVehicle), "scenarios/vehicle")
+		})
+	}
+}
+
+// BenchmarkCampaignCompile measures the OEM-side spec path: parse the
+// quickstart DSL and expand it to its 210-scenario plan.
+func BenchmarkCampaignCompile(b *testing.B) {
+	raw, err := os.ReadFile("examples/campaigns/quickstart.campaign")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := string(raw)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var scenarios int
+	for i := 0; i < b.N; i++ {
+		spec, err := campaign.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := (campaign.Compiler{}).Compile(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenarios = plan.ScenariosPerVehicle()
+	}
+	b.ReportMetric(float64(scenarios), "scenarios")
 }
 
 // BenchmarkBusUnderErrorInjection exercises retransmission economics: the

@@ -1,12 +1,17 @@
 // Command benchgate compares `go test -bench` output against a checked-in
 // benchmark snapshot (BENCH_<n>.json) and fails when any benchmark regresses
-// by more than the allowed factor in ns/op. It is the CI smoke gate for the
-// fleet engine's throughput: a gross slowdown (>2x by default) fails the
-// build, while ordinary machine-to-machine noise passes.
+// by more than the allowed factor in ns/op — or, when the input carries
+// -benchmem columns and the snapshot records allocs_per_op, in allocs/op.
+// It is the CI smoke gate for the fleet engine's throughput and the pooled
+// substrate's allocation discipline: a gross slowdown (>2x by default) or an
+// allocation explosion fails the build, while ordinary machine-to-machine
+// noise passes (allocation counts are near-deterministic, so the allocs gate
+// is effectively exact).
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'FleetSweep|Fig2' -benchtime 2x . | benchgate -snapshot BENCH_1.json
+//	go test -run '^$' -bench 'FleetSweep|Fig2|CampaignSweep' -benchmem -benchtime 20x . \
+//	  | benchgate -snapshot BENCH_2.json
 //
 // The tool reads benchmark output on stdin. Sub-benchmark names are matched
 // after stripping the trailing -<GOMAXPROCS> suffix; benchmarks missing from
@@ -30,15 +35,20 @@ type snapshot struct {
 }
 
 type benchEntry struct {
-	NsPerOp float64 `json:"ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // benchLine matches e.g. "BenchmarkFleetSweep/fleet=1000-8  7  148317995 ns/op ...".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// allocsField matches the -benchmem allocation column anywhere in the line.
+var allocsField = regexp.MustCompile(`\s([0-9]+) allocs/op`)
+
 func main() {
-	snapPath := flag.String("snapshot", "BENCH_1.json", "benchmark snapshot to compare against")
+	snapPath := flag.String("snapshot", "BENCH_2.json", "benchmark snapshot to compare against")
 	factor := flag.Float64("factor", 2.0, "fail when measured ns/op exceeds snapshot by this factor")
+	allocFactor := flag.Float64("alloc-factor", 2.0, "fail when measured allocs/op exceeds snapshot by this factor (needs -benchmem input)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*snapPath)
@@ -77,6 +87,26 @@ func main() {
 		}
 		fmt.Printf("benchgate: %-40s %12.0f ns/op vs snapshot %12.0f (%.2fx) %s\n",
 			name, measured, entry.NsPerOp, ratio, verdict)
+
+		// Allocation gate: only when both sides carry the data. A pooled
+		// substrate's allocs/op is nearly exact, so >allocFactor means a
+		// hot path started allocating, not that the machine is slow.
+		am := allocsField.FindStringSubmatch(line)
+		if am == nil || entry.AllocsPerOp <= 0 {
+			continue
+		}
+		allocs, err := strconv.ParseFloat(am[1], 64)
+		if err != nil {
+			continue
+		}
+		aratio := allocs / entry.AllocsPerOp
+		verdict = "ok"
+		if aratio > *allocFactor {
+			verdict = "ALLOC REGRESSION"
+			failed++
+		}
+		fmt.Printf("benchgate: %-40s %12.0f allocs/op vs snapshot %12.0f (%.2fx) %s\n",
+			name, allocs, entry.AllocsPerOp, aratio, verdict)
 	}
 	if err := sc.Err(); err != nil {
 		fatal("read stdin: %v", err)
@@ -85,9 +115,11 @@ func main() {
 		fatal("no benchmark in the input matched the snapshot %s", *snapPath)
 	}
 	if failed > 0 {
-		fatal("%d benchmark(s) regressed more than %.1fx vs %s", failed, *factor, *snapPath)
+		fatal("%d benchmark gate(s) exceeded %.1fx (ns/op) / %.1fx (allocs/op) vs %s",
+			failed, *factor, *allocFactor, *snapPath)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within %.1fx of %s\n", matched, *factor, *snapPath)
+	fmt.Printf("benchgate: %d benchmark(s) within %.1fx ns/op and %.1fx allocs/op of %s\n",
+		matched, *factor, *allocFactor, *snapPath)
 }
 
 func fatal(format string, args ...any) {

@@ -11,6 +11,8 @@
 //	carsim -attack EVECU-1 -enforcement hpe -trace
 //	carsim -fleet 100 -workers 8 -seed 42
 //	carsim -fleet 1000 -reuse=false   # fresh-construction reference mode
+//	carsim -campaign examples/campaigns/quickstart.campaign -fleet 100
+//	carsim -campaign examples/campaigns/quickstart.campaign -list-scenarios
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/campaign"
 	"repro/internal/canbus"
 	"repro/internal/car"
 	"repro/internal/engine"
@@ -40,15 +43,17 @@ func main() {
 	workers := flag.Int("workers", 0, "bound the fleet worker pool (default GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "root seed for deterministic per-vehicle seed derivation")
 	reuse := flag.Bool("reuse", true, "pool vehicles per worker (reset in place); false rebuilds every stack from scratch")
+	campaignFile := flag.String("campaign", "", "compile a campaign spec (text or JSON) and sweep it across the fleet")
+	listScenarios := flag.Bool("list-scenarios", false, "with -campaign: dump the generated scenario matrix without running it")
 	flag.Parse()
 
-	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse); err != nil {
+	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *campaignFile, *listScenarios); err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse bool) error {
+func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse bool, campaignFile string, listScenarios bool) error {
 	if topology {
 		fmt.Print(report.Topology())
 		return nil
@@ -63,14 +68,65 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 	if latency {
 		return runLatency()
 	}
+	if campaignFile != "" {
+		return runCampaign(campaignFile, listScenarios, fleetSize, workers, seed, reuse)
+	}
+	if listScenarios {
+		return fmt.Errorf("-list-scenarios requires -campaign")
+	}
 	if fleetSize > 0 {
 		return runFleet(fleetSize, workers, seed, enforcement, reuse)
 	}
 	if attackSel == "" {
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency, -fleet or -attack")
+		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency, -campaign, -fleet or -attack")
 	}
 	return runAttacks(attackSel, enforcement, trace)
+}
+
+// runCampaign compiles a campaign spec and either lists its generated
+// scenario matrix or sweeps it across the fleet, printing the deterministic
+// campaign view plus a separate wall-clock throughput line.
+func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := campaign.Parse(string(raw))
+	if err != nil {
+		return err
+	}
+	plan, err := (campaign.Compiler{}).Compile(spec)
+	if err != nil {
+		return err
+	}
+	if listOnly {
+		fmt.Print(plan.Matrix())
+		return nil
+	}
+	if fleetSize <= 0 {
+		fleetSize = 1
+	}
+	start := time.Now()
+	rep, err := campaign.Sweep(plan, campaign.SweepConfig{
+		Fleet:         fleetSize,
+		Workers:       workers,
+		RootSeed:      seed,
+		FreshVehicles: !reuse,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Print(report.CampaignView(rep))
+	mode := "pooled"
+	if !reuse {
+		mode = "fresh"
+	}
+	fmt.Printf("\nthroughput: %.0f vehicles/s, %.0f cells/s (%s vehicles, %v wall clock)\n",
+		float64(fleetSize)/elapsed.Seconds(), float64(rep.Cells)/elapsed.Seconds(),
+		mode, elapsed.Round(time.Millisecond))
+	return nil
 }
 
 // runFleet sweeps the Table I matrix across a simulated fleet and prints the

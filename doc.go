@@ -29,6 +29,13 @@
 //     pool with deterministic per-vehicle seeds, merged reports, and
 //     per-worker vehicle arenas that reset one stack in place per vehicle
 //     instead of rebuilding it (~3.6x fleet-sweep throughput)
+//   - internal/campaign  — procedural adversary-campaign generator: a
+//     declarative text/JSON spec (campaign.Parse) expands into families of
+//     generated scenarios — Table I mutations, coordinated multi-attacker
+//     floods, predicate-gated multi-stage kill chains — compiled onto
+//     attack.Scenario cells and swept on the fleet engine with SplitMix64
+//     sub-seeds (CampaignReport byte-identical across worker counts and
+//     pooled/fresh runs); shipped specs live under examples/campaigns
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see DESIGN.md for the experiment index and

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"repro/internal/behaviour"
 	"repro/internal/canbus"
 	"repro/internal/car"
 	"repro/internal/hpe"
@@ -20,8 +21,9 @@ import (
 type Arena struct {
 	h       *Harness
 	car     *car.Car
-	engines []*hpe.Engine  // index-aligned with car.AllNodes
-	nodes   []*canbus.Node // same alignment; stable across car resets
+	engines []*hpe.Engine       // index-aligned with car.AllNodes
+	guards  []*behaviour.Engine // same alignment; wrap engines for EnforceBehaviour
+	nodes   []*canbus.Node      // same alignment; stable across car resets
 	seed    uint64
 }
 
@@ -34,6 +36,7 @@ func (h *Harness) NewArena() (*Arena, error) {
 		return nil, err
 	}
 	engines := make([]*hpe.Engine, len(car.AllNodes))
+	guards := make([]*behaviour.Engine, len(car.AllNodes))
 	nodes := make([]*canbus.Node, len(car.AllNodes))
 	for i, name := range car.AllNodes {
 		eng := hpe.New(name, c, h.Cycles)
@@ -42,9 +45,10 @@ func (h *Harness) NewArena() (*Arena, error) {
 			return nil, err
 		}
 		engines[i] = eng
+		guards[i] = newBehaviourGuard(c, eng)
 		nodes[i], _ = c.Node(name)
 	}
-	return &Arena{h: h, car: c, engines: engines, nodes: nodes, seed: h.Seed}, nil
+	return &Arena{h: h, car: c, engines: engines, guards: guards, nodes: nodes, seed: h.Seed}, nil
 }
 
 // Car returns the arena's vehicle, for callers (the fleet engine's live
@@ -88,6 +92,17 @@ func (a *Arena) Run(sc Scenario, enf Enforcement) (Result, error) {
 	case EnforceHPE:
 		if err := a.deployEngines(); err != nil {
 			return Result{}, err
+		}
+	case EnforceBehaviour:
+		if err := a.deployEngines(); err != nil {
+			return Result{}, err
+		}
+		// Layer the pooled behavioural guards over the freshly re-provisioned
+		// identifier engines; Reset clears their rate windows so a reused
+		// guard decides exactly like the fresh path's per-run guards.
+		for i, n := range a.nodes {
+			a.guards[i].Reset()
+			n.SetInlineFilter(a.guards[i])
 		}
 	case EnforceNone:
 		for _, n := range a.nodes {

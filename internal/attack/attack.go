@@ -14,12 +14,22 @@
 //   - Outside attacks launch from a malicious node introduced onto the bus.
 //     Such a node carries no HPE; the defence is the victims' approved
 //     *reading* lists blocking unexpected messages.
+//
+// Beyond the fixed Table I matrix, scenarios support the constructs the
+// campaign generator (internal/campaign) lowers onto this harness:
+// coordinated multi-attacker injections (Coattackers + Injection.From),
+// per-injection pacing (Injection.Gap, ParallelInjections), multi-stage
+// campaigns with predicates gating each stage (Stages), and a fourth
+// enforcement regime (EnforceBehaviour) that layers the §V-A behavioural
+// rules — a per-node write budget and a payload-aware "no unlock while in
+// motion" veto — on top of the identifier HPE.
 package attack
 
 import (
 	"fmt"
 	"time"
 
+	"repro/internal/behaviour"
 	"repro/internal/canbus"
 	"repro/internal/car"
 	"repro/internal/hpe"
@@ -64,6 +74,12 @@ const (
 	// EnforceHPE deploys a hardware policy engine with the compiled
 	// connected-car policy on every legitimate node.
 	EnforceHPE
+	// EnforceBehaviour deploys the HPE and layers the default behavioural
+	// rule set (per-node write budget, payload-aware unlock-in-motion veto)
+	// on every legitimate node — the §V-A extension that also stops
+	// *approved* writers whose credentials are abused, e.g. a legitimate
+	// node flooding its own identifier.
+	EnforceBehaviour
 )
 
 // String returns the regime name.
@@ -75,6 +91,8 @@ func (e Enforcement) String() string {
 		return "software"
 	case EnforceHPE:
 		return "hpe"
+	case EnforceBehaviour:
+		return "behaviour"
 	default:
 		return "invalid"
 	}
@@ -87,6 +105,36 @@ type Injection struct {
 	Data []byte
 	// Repeat sends the frame this many times (min 1).
 	Repeat int
+	// Gap is the virtual-time spacing between repeats (stepTime if zero) —
+	// the knob flood scenarios turn to exceed behavioural rate budgets.
+	Gap time.Duration
+	// From names the transmitting attacker: empty for the scenario's primary
+	// attacker, otherwise one of its Coattackers.
+	From string
+}
+
+// Attacker is one additional attacker placement for coordinated
+// multi-attacker scenarios; injections reference it via Injection.From.
+type Attacker struct {
+	// Name is the compromised node (Inside) or the rogue node to attach
+	// (Outside).
+	Name string
+	// Placement selects the attacker model.
+	Placement Placement
+}
+
+// Stage is one phase of a multi-stage campaign scenario (recon → injection →
+// persistence). Stages run in order after the scenario's base injections;
+// each stage's predicate is evaluated against the observable state the
+// previous phases produced.
+type Stage struct {
+	// Name labels the stage.
+	Name string
+	// Proceed gates the stage: evaluated before its injections fire; false
+	// halts the scenario (remaining stages are skipped). nil means always.
+	Proceed func(s car.State) bool
+	// Injections are the stage's forged frames.
+	Injections []Injection
 }
 
 // Scenario is one executable Table I attack.
@@ -106,6 +154,19 @@ type Scenario struct {
 	Setup func(c *car.Car) error
 	// Injections are the forged frames.
 	Injections []Injection
+	// Coattackers are additional attacker placements for coordinated
+	// multi-attacker scenarios; Injections select them via From.
+	Coattackers []Attacker
+	// ParallelInjections schedules every injection spec from the same start
+	// instant (coordinated streams) instead of sequentially.
+	ParallelInjections bool
+	// Stages are optional campaign phases run after Injections, each gated
+	// by its predicate.
+	Stages []Stage
+	// SkipProbe skips the post-attack functional probe (LegitimateOK is then
+	// reported true): bulk campaign families trade false-positive
+	// measurement for sweep throughput.
+	SkipProbe bool
 	// Succeeded inspects post-attack state: true means the attack achieved
 	// its effect.
 	Succeeded func(s car.State) bool
@@ -129,8 +190,15 @@ type Result struct {
 	// Succeeded reports whether the attack achieved its effect.
 	Succeeded bool
 	// LegitimateOK reports whether the post-attack functional probe passed
-	// (no false positives introduced by enforcement).
+	// (no false positives introduced by enforcement). Scenarios with
+	// SkipProbe report true.
 	LegitimateOK bool
+	// StagesRun counts campaign stages whose predicate held and whose
+	// injections fired (0 for single-stage scenarios).
+	StagesRun int
+	// Halted reports that a stage predicate failed and stopped the campaign
+	// scenario early.
+	Halted bool
 }
 
 // String renders a one-line summary.
@@ -185,13 +253,71 @@ func (h *Harness) Run(sc Scenario, enf Enforcement) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if enf == EnforceHPE {
+	switch enf {
+	case EnforceHPE:
 		if _, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...); err != nil {
 			return Result{}, err
+		}
+	case EnforceBehaviour:
+		engines, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, name := range car.AllNodes {
+			node, _ := c.Node(name)
+			node.SetInlineFilter(newBehaviourGuard(c, engines[name]))
 		}
 	}
 	stripFilters(c, enf)
 	return h.execute(c, sc, enf)
+}
+
+// Default behavioural rule parameters: any single node may transmit at most
+// behaviourWriteBudget frames per sliding behaviourWindow. The budget sits
+// comfortably above every legitimate burst in the harness (setup + probe +
+// Table I injection trains) and far below campaign flood rates.
+const (
+	behaviourWriteBudget = 8
+	behaviourWindow      = 10 * time.Millisecond
+)
+
+// unlockInMotion is the payload-aware situational rule of §V-A: it vetoes
+// door-unlock commands while the vehicle is moving, but lets lock commands
+// and parked unlocks through. It inspects the opcode byte, which the generic
+// behaviour.SituationalDeny (identifier-granular) cannot.
+type unlockInMotion struct{ c *car.Car }
+
+// Name implements behaviour.Rule.
+func (r unlockInMotion) Name() string { return "no-unlock-in-motion" }
+
+// Decide implements behaviour.Rule.
+func (r unlockInMotion) Decide(dir canbus.Direction, f canbus.Frame, _ time.Duration) canbus.Verdict {
+	if dir == canbus.Read && f.ID == car.IDDoorCommand &&
+		len(f.Data) > 0 && f.Data[0] == car.OpUnlock &&
+		r.c.State().ActualSpeed > 0 {
+		return canbus.Block
+	}
+	return canbus.Grant
+}
+
+// newBehaviourGuard wraps one node's identifier engine in the default
+// behavioural rule set, clocked by the car's scheduler. The fresh path
+// builds guards per run; the Arena builds them once and resets them.
+func newBehaviourGuard(c *car.Car, base canbus.InlineFilter) *behaviour.Engine {
+	g := behaviour.New(base, c.Scheduler().Now)
+	if err := g.AddRule(&behaviour.RateLimit{
+		Label:        "write-budget",
+		Direction:    canbus.Write,
+		IDs:          policy.Span(0, 0x7FF),
+		MaxPerWindow: behaviourWriteBudget,
+		Window:       behaviourWindow,
+	}); err != nil {
+		panic(err) // static rule; fails only on programming errors
+	}
+	if err := g.AddRule(unlockInMotion{c: c}); err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // stripFilters applies the EnforceNone degradation: controllers in
@@ -230,35 +356,32 @@ func (h *Harness) execute(c *car.Car, sc Scenario, enf Enforcement) (Result, err
 	}
 	c.SetMode(sc.Mode)
 
-	attacker, err := h.placeAttacker(c, sc, enf)
+	attackers, err := placeAttackers(c, sc)
 	if err != nil {
 		return Result{}, err
 	}
 
 	before := c.Bus().Stats()
-	at := c.Scheduler().Now()
-	for _, inj := range sc.Injections {
-		n := inj.Repeat
-		if n < 1 {
-			n = 1
-		}
-		frame, err := canbus.NewDataFrame(inj.ID, inj.Data)
-		if err != nil {
-			return Result{}, fmt.Errorf("attack: bad injection for %s: %w", sc.ThreatID, err)
-		}
-		// One shared frame and one shared event per injection spec: Send
-		// clones into the transmit queue, so every scheduled repeat can
-		// reference the same values instead of allocating per repeat.
-		fire := func(time.Duration) {
-			_ = attacker.Send(frame) // blocked sends are measured, not errors
-		}
-		for i := 0; i < n; i++ {
-			at += stepTime
-			res.Injected++
-			c.Scheduler().At(at, fire)
-		}
+	if err := scheduleInjections(c, &attackers, sc.Injections, sc.ParallelInjections, &res); err != nil {
+		return Result{}, fmt.Errorf("attack: %s: %w", sc.ThreatID, err)
 	}
 	c.Scheduler().Run()
+
+	// Campaign stages: each runs only if its predicate holds against the
+	// state the previous phases produced; a failed predicate halts the
+	// scenario (the defence broke the kill chain).
+	for i := range sc.Stages {
+		st := &sc.Stages[i]
+		if st.Proceed != nil && !st.Proceed(c.State()) {
+			res.Halted = true
+			break
+		}
+		res.StagesRun++
+		if err := scheduleInjections(c, &attackers, st.Injections, sc.ParallelInjections, &res); err != nil {
+			return Result{}, fmt.Errorf("attack: %s stage %q: %w", sc.ThreatID, st.Name, err)
+		}
+		c.Scheduler().Run()
+	}
 
 	after := c.Bus().Stats()
 	res.WriteBlocked = after.WriteBlocked - before.WriteBlocked
@@ -268,18 +391,65 @@ func (h *Harness) execute(c *car.Car, sc Scenario, enf Enforcement) (Result, err
 	// Functional probe: legitimate traffic must still work after the attack
 	// and under enforcement (switch back to Normal for the probe).
 	c.SetMode(car.ModeNormal)
-	res.LegitimateOK = h.probeLegitimate(c)
+	if sc.SkipProbe {
+		res.LegitimateOK = true
+	} else {
+		res.LegitimateOK = h.probeLegitimate(c)
+	}
 	return res, nil
 }
 
-// placeAttacker returns the node the scenario transmits from, compromising
-// or attaching it as the placement dictates.
-func (h *Harness) placeAttacker(c *car.Car, sc Scenario, enf Enforcement) (*canbus.Node, error) {
-	switch sc.Placement {
+// placedAttackers resolves Injection.From names to placed bus nodes. The
+// common single-attacker case stays allocation-free (nil slices).
+type placedAttackers struct {
+	primary     *canbus.Node
+	primaryName string
+	names       []string
+	nodes       []*canbus.Node
+}
+
+// lookup resolves an injection's From field ("" = primary attacker).
+func (p *placedAttackers) lookup(name string) *canbus.Node {
+	if name == "" || name == p.primaryName {
+		return p.primary
+	}
+	for i, n := range p.names {
+		if n == name {
+			return p.nodes[i]
+		}
+	}
+	return nil
+}
+
+// placeAttackers places the scenario's primary attacker and every
+// coattacker, compromising or attaching each as its placement dictates.
+func placeAttackers(c *car.Car, sc Scenario) (placedAttackers, error) {
+	primary, err := placeAttacker(c, sc.Attacker, sc.Placement)
+	if err != nil {
+		return placedAttackers{}, err
+	}
+	p := placedAttackers{primary: primary, primaryName: sc.Attacker}
+	for _, co := range sc.Coattackers {
+		if co.Name == sc.Attacker {
+			continue
+		}
+		n, err := placeAttacker(c, co.Name, co.Placement)
+		if err != nil {
+			return placedAttackers{}, err
+		}
+		p.names = append(p.names, co.Name)
+		p.nodes = append(p.nodes, n)
+	}
+	return p, nil
+}
+
+// placeAttacker returns the node a scenario transmits from.
+func placeAttacker(c *car.Car, name string, placement Placement) (*canbus.Node, error) {
+	switch placement {
 	case Inside:
-		node, ok := c.Node(sc.Attacker)
+		node, ok := c.Node(name)
 		if !ok {
-			return nil, fmt.Errorf("attack: unknown attacker node %q", sc.Attacker)
+			return nil, fmt.Errorf("attack: unknown attacker node %q", name)
 		}
 		// Firmware compromise: the node's own acceptance filters fall.
 		node.Controller().CompromiseFilters()
@@ -290,15 +460,61 @@ func (h *Harness) placeAttacker(c *car.Car, sc Scenario, enf Enforcement) (*canb
 		// traffic (a transmit-only attacker): without a handler the
 		// controller would clone every delivered frame into a mailbox
 		// nobody drains.
-		n, err := c.Bus().Attach(sc.Attacker)
+		n, err := c.Bus().Attach(name)
 		if err != nil {
 			return nil, err
 		}
 		n.Controller().SetHandler(func(canbus.Frame) {})
 		return n, nil
 	default:
-		return nil, fmt.Errorf("attack: invalid placement %d", sc.Placement)
+		return nil, fmt.Errorf("attack: invalid placement %d", placement)
 	}
+}
+
+// scheduleInjections queues one phase's injection specs on the virtual
+// clock. Sequential mode (the Table I default) chains specs one after
+// another; parallel mode starts every spec at the same instant, modelling
+// coordinated attacker streams.
+func scheduleInjections(c *car.Car, attackers *placedAttackers, injections []Injection, parallel bool, res *Result) error {
+	base := c.Scheduler().Now()
+	at := base
+	for _, inj := range injections {
+		tx := attackers.lookup(inj.From)
+		if tx == nil {
+			return fmt.Errorf("injection from unplaced attacker %q", inj.From)
+		}
+		n := inj.Repeat
+		if n < 1 {
+			n = 1
+		}
+		gap := inj.Gap
+		if gap <= 0 {
+			gap = stepTime
+		}
+		frame, err := canbus.NewDataFrame(inj.ID, inj.Data)
+		if err != nil {
+			return fmt.Errorf("bad injection: %w", err)
+		}
+		// One shared frame and one shared event per injection spec: Send
+		// clones into the transmit queue, so every scheduled repeat can
+		// reference the same values instead of allocating per repeat.
+		fire := func(time.Duration) {
+			_ = tx.Send(frame) // blocked sends are measured, not errors
+		}
+		start := at
+		if parallel {
+			start = base
+		}
+		for i := 0; i < n; i++ {
+			start += gap
+			res.Injected++
+			c.Scheduler().At(start, fire)
+		}
+		if !parallel {
+			at = start
+		}
+	}
+	return nil
 }
 
 // probeLegitimate exercises a representative legitimate action and reports

@@ -24,6 +24,13 @@ type Summary struct {
 	WriteBlocked uint64
 	// ReadBlocked totals frames stopped at victims' read filters.
 	ReadBlocked uint64
+	// StageRuns totals campaign stages executed across runs (0 when the
+	// swept scenarios are single-stage). Not part of String, so legacy
+	// fleet-report renderings stay byte-stable.
+	StageRuns int
+	// StagesHalted counts runs where a stage predicate stopped a campaign
+	// scenario early (the defence broke the kill chain).
+	StagesHalted int
 }
 
 // Add folds one result into the summary.
@@ -32,6 +39,10 @@ func (s *Summary) Add(r Result) {
 	s.Injected += r.Injected
 	s.WriteBlocked += r.WriteBlocked
 	s.ReadBlocked += r.ReadBlocked
+	s.StageRuns += r.StagesRun
+	if r.Halted {
+		s.StagesHalted++
+	}
 	switch {
 	case r.Succeeded:
 		s.Succeeded++
@@ -51,6 +62,8 @@ func (s *Summary) Merge(o Summary) {
 	s.Injected += o.Injected
 	s.WriteBlocked += o.WriteBlocked
 	s.ReadBlocked += o.ReadBlocked
+	s.StageRuns += o.StageRuns
+	s.StagesHalted += o.StagesHalted
 }
 
 // SuccessRate returns attacks succeeded over runs (0 for no runs).

@@ -151,6 +151,15 @@ func (r *RateLimit) Validate() error {
 	return nil
 }
 
+// Reset discards the rule's window state, restoring it to a freshly
+// constructed rule. Pooled harnesses call this between runs so a reused rule
+// behaves identically to a new one even though the virtual clock restarted.
+func (r *RateLimit) Reset() {
+	r.mu.Lock()
+	r.grants = r.grants[:0]
+	r.mu.Unlock()
+}
+
 // Decide implements Rule.
 func (r *RateLimit) Decide(dir canbus.Direction, f canbus.Frame, now time.Duration) canbus.Verdict {
 	if dir != r.Direction || !r.IDs.Contains(f.ID) {
@@ -261,6 +270,25 @@ func (e *Engine) Rules() []string {
 		out[i] = r.Name()
 	}
 	return out
+}
+
+// resettable is implemented by rules that carry per-run state (RateLimit's
+// sliding window); Engine.Reset clears them alongside the counters.
+type resettable interface{ Reset() }
+
+// Reset restores the engine to its post-construction state without touching
+// the installed rule list: counters zeroed and every stateful rule's window
+// cleared. A reset engine decides exactly like a freshly built one carrying
+// the same rules — the pooled-arena equivalence the fleet engine relies on.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{RuleBlocked: map[string]uint64{}}
+	for _, r := range e.rules {
+		if rs, ok := r.(resettable); ok {
+			rs.Reset()
+		}
+	}
 }
 
 // Stats returns a snapshot of the counters.

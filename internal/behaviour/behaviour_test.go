@@ -286,3 +286,43 @@ func TestEngineStatsSnapshotIsolated(t *testing.T) {
 		t.Error("Stats exposes internal map")
 	}
 }
+
+// TestEngineResetRestoresFreshDecisions drives a rate-limited engine to
+// exhaustion on a clock that then restarts (the pooled-arena pattern: the
+// scheduler resets to time zero between runs): without Reset the stale
+// window keeps blocking; after Reset the engine must decide exactly like a
+// freshly built one.
+func TestEngineResetRestoresFreshDecisions(t *testing.T) {
+	clk := &tickClock{}
+	e := New(nil, clk.Clock())
+	if err := e.AddRule(&RateLimit{
+		Label:        "budget",
+		Direction:    canbus.Write,
+		IDs:          policy.SingleID(0x123),
+		MaxPerWindow: 2,
+		Window:       10 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := frame(0x123)
+	for i := 0; i < 5; i++ {
+		clk.now = time.Duration(i) * time.Millisecond
+		e.Decide(canbus.Write, f)
+	}
+	if e.Stats().RuleBlocked["budget"] != 3 {
+		t.Fatalf("expected 3 budget blocks, got %d", e.Stats().RuleBlocked["budget"])
+	}
+
+	// Virtual clock restarts; the stale window must not leak through Reset.
+	clk.now = 0
+	e.Reset()
+	if got := e.Stats(); got.Decisions != 0 || len(got.RuleBlocked) != 0 {
+		t.Fatalf("Reset left counters behind: %+v", got)
+	}
+	if e.Decide(canbus.Write, f) != canbus.Grant {
+		t.Error("reset engine blocked the first post-reset frame")
+	}
+	if rules := e.Rules(); len(rules) != 1 || rules[0] != "budget" {
+		t.Errorf("Reset must keep installed rules, got %v", rules)
+	}
+}

@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the campaign parser (both the DSL and
+// the JSON branch): it must never panic, and any document it accepts must
+// render (String) back to the canonical DSL and re-parse to an identical
+// spec — the same round-trip contract the policy DSL fuzzer enforces.
+// Accepted specs must also compile without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add(testSpec)
+	f.Add(determinismSpec)
+	f.Add(`campaign "min" version 0 { mutate "m" {} }`)
+	f.Add(`campaign "f" version 1 { flood "x" { id 0x7FF team A, B rates 1ms frames 3 goal exfil } }`)
+	f.Add(`campaign "s" version 1 {
+  staged "st" {
+    attackers Sensors
+    placements outside
+    modes RemoteDiag
+    goal always
+    stage "one" { proceed doors-locked inject 0x600 DEAD x 4 every 250us from Helper }
+  }
+}`)
+	f.Add(`{"name":"j","version":3,"seed":9,"regimes":["hpe"],"generators":[{"kind":"mutate","name":"g","pick":2}]}`)
+	f.Add("campaign \"c\" version 18446744073709551615 {\n# comment\nmutate \"m\" { base * }\n}")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := sp.String()
+		sp2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted campaign does not re-parse: %v\n--- source ---\n%s\n--- rendered ---\n%s",
+				err, src, rendered)
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Fatalf("render round trip changed the spec\n--- first ---\n%+v\n--- second ---\n%+v\n--- rendered ---\n%s",
+				sp, sp2, rendered)
+		}
+		// Compilation must never panic on a validated spec; errors (unknown
+		// base threats, oversized products) are fine.
+		plan, err := (Compiler{}).Compile(sp)
+		if err != nil {
+			return
+		}
+		// The expansion must be non-empty and internally consistent.
+		if plan.ScenariosPerVehicle() == 0 {
+			t.Fatalf("compiled plan has no scenarios\n%s", rendered)
+		}
+		for _, fam := range plan.Families {
+			if len(fam.Regimes) == 0 {
+				t.Fatalf("family %q has no regimes", fam.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/engine"
+)
+
+// SweepConfig parameterises a fleet-scale campaign sweep.
+type SweepConfig struct {
+	// Fleet is the number of vehicles swept per family (default 1).
+	Fleet int
+	// Workers bounds the fleet engine's worker pool (default GOMAXPROCS).
+	Workers int
+	// RootSeed feeds per-family fleet-root derivation; each family mixes it
+	// with its own sub-seed, so families decorrelate and the whole report
+	// is a pure function of (spec, RootSeed, Fleet).
+	RootSeed uint64
+	// FreshVehicles selects the engine's from-scratch reference path
+	// (pooled arenas otherwise); both render byte-identical reports.
+	FreshVehicles bool
+	// TrafficHorizon is the live background simulation's virtual span for
+	// the first family (default 10ms); later families skip the live phase.
+	TrafficHorizon time.Duration
+	// ErrorRate enables bus error injection in the live phase.
+	ErrorRate float64
+}
+
+// FamilyReport is one family's fleet-merged outcome.
+type FamilyReport struct {
+	// Name and Kind echo the family.
+	Name string
+	Kind string
+	// Scenarios is the family's per-vehicle scenario count.
+	Scenarios int
+	// Regimes holds one fleet-merged aggregate per enforcement regime, in
+	// the family's sweep order.
+	Regimes []attack.RegimeSummary
+}
+
+// CampaignReport is the deterministic outcome of one campaign sweep:
+// byte-identical for a given (spec, RootSeed, Fleet) across worker counts
+// and across pooled/fresh runs, which is why it records neither.
+type CampaignReport struct {
+	// Campaign, Version and Seed echo the spec.
+	Campaign string
+	Version  uint64
+	Seed     uint64
+	// RootSeed and Fleet echo the sweep configuration.
+	RootSeed uint64
+	Fleet    int
+	// ScenariosPerVehicle and Cells size the sweep (Cells counts
+	// scenario×regime×vehicle executions).
+	ScenariosPerVehicle int
+	Cells               int
+	// FramesDelivered, BusErrors and MeanUtilisation are the live
+	// background-simulation counters (collected with the first family).
+	FramesDelivered uint64
+	BusErrors       uint64
+	MeanUtilisation float64
+	// Families holds per-family aggregates, in declaration order.
+	Families []FamilyReport
+	// Totals folds every family's aggregates per regime, ordered by first
+	// appearance across the campaign.
+	Totals []attack.RegimeSummary
+}
+
+// Sweep executes the plan's families on the fleet engine — one engine run
+// per family, all sharing a single compiled harness and, within a run, the
+// engine's pooled per-worker arenas — and folds the merged outcomes into a
+// CampaignReport.
+func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
+	if cfg.Fleet <= 0 {
+		cfg.Fleet = 1
+	}
+	if cfg.TrafficHorizon <= 0 {
+		cfg.TrafficHorizon = 10 * time.Millisecond
+	}
+	h, err := attack.NewHarness()
+	if err != nil {
+		return nil, err
+	}
+	rep := &CampaignReport{
+		Campaign:            plan.Spec.Name,
+		Version:             plan.Spec.Version,
+		Seed:                plan.Spec.Seed,
+		RootSeed:            cfg.RootSeed,
+		Fleet:               cfg.Fleet,
+		ScenariosPerVehicle: plan.ScenariosPerVehicle(),
+		Cells:               plan.CellsPerVehicle() * cfg.Fleet,
+	}
+	for fi := range plan.Families {
+		fam := &plan.Families[fi]
+		// The family's fleet root blends the sweep root with the family
+		// sub-seed through the stack's shared SplitMix64 step, so vehicle i
+		// of family A never correlates with vehicle i of family B.
+		fr, err := engine.Run(engine.Config{
+			Fleet:          cfg.Fleet,
+			Workers:        cfg.Workers,
+			RootSeed:       engine.VehicleSeed(cfg.RootSeed^fam.Seed, fi),
+			Scenarios:      fam.Scenarios,
+			Regimes:        fam.Regimes,
+			TrafficHorizon: cfg.TrafficHorizon,
+			ErrorRate:      cfg.ErrorRate,
+			FreshVehicles:  cfg.FreshVehicles,
+			Harness:        h,
+			SkipLive:       fi != 0,
+			SkipMAC:        true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("campaign %q family %q: %w", plan.Spec.Name, fam.Name, err)
+		}
+		if fi == 0 {
+			rep.FramesDelivered = fr.FramesDelivered
+			rep.BusErrors = fr.BusErrors
+			rep.MeanUtilisation = fr.MeanUtilisation
+		}
+		rep.Families = append(rep.Families, FamilyReport{
+			Name:      fam.Name,
+			Kind:      fam.Kind,
+			Scenarios: len(fam.Scenarios),
+			Regimes:   fr.Attacks,
+		})
+		for _, rs := range fr.Attacks {
+			rep.fold(rs)
+		}
+	}
+	return rep, nil
+}
+
+// fold merges one regime aggregate into the campaign totals, keyed by
+// regime in first-appearance order.
+func (r *CampaignReport) fold(rs attack.RegimeSummary) {
+	for i := range r.Totals {
+		if r.Totals[i].Regime == rs.Regime {
+			r.Totals[i].Summary.Merge(rs.Summary)
+			return
+		}
+	}
+	r.Totals = append(r.Totals, rs)
+}
+
+// String renders the campaign report. Deterministic: no worker counts, no
+// wall-clock values — two sweeps of the same (spec, RootSeed, Fleet) render
+// byte-identical text whatever the parallelism or pooling mode.
+func (r *CampaignReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %q v%d seed %#x: fleet %d, root seed %#x, %d scenarios/vehicle, %d cells\n",
+		r.Campaign, r.Version, r.Seed, r.Fleet, r.RootSeed, r.ScenariosPerVehicle, r.Cells)
+	fmt.Fprintf(&b, "live: delivered=%d errors=%d mean-util=%.4f%%\n",
+		r.FramesDelivered, r.BusErrors, r.MeanUtilisation*100)
+	for i := range r.Families {
+		f := &r.Families[i]
+		fmt.Fprintf(&b, "family %s (%s): %d scenarios/vehicle\n", f.Name, f.Kind, f.Scenarios)
+		for _, rs := range f.Regimes {
+			writeRegimeLine(&b, "  ", rs)
+		}
+	}
+	b.WriteString("totals:\n")
+	for _, rs := range r.Totals {
+		writeRegimeLine(&b, "  ", rs)
+	}
+	return b.String()
+}
+
+// writeRegimeLine renders one regime aggregate, including the stage
+// counters the legacy fleet report omits.
+func writeRegimeLine(b *strings.Builder, indent string, rs attack.RegimeSummary) {
+	s := rs.Summary
+	fmt.Fprintf(b, "%s%-9s %s success=%.1f%% blocked=%.1f%%", indent, rs.Regime, s, s.SuccessRate()*100, s.BlockRate()*100)
+	if s.StageRuns > 0 || s.StagesHalted > 0 {
+		fmt.Fprintf(b, " stages=%d halted=%d", s.StageRuns, s.StagesHalted)
+	}
+	b.WriteByte('\n')
+}

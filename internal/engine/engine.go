@@ -74,6 +74,18 @@ type Config struct {
 	// runs produce byte-identical reports; the fresh path survives as the
 	// reference implementation the reset-equivalence tests compare against.
 	FreshVehicles bool
+	// Harness optionally supplies a pre-built attack harness (compiled
+	// policy + cycle model) the run reuses instead of deriving its own —
+	// campaign sweeps call Run once per scenario family and share one
+	// harness across all of them.
+	Harness *attack.Harness
+	// SkipLive skips the per-vehicle live background simulation phase (its
+	// bus counters and utilisation report as zero). Campaign sweeps enable
+	// it for every family after the first.
+	SkipLive bool
+	// SkipMAC skips the per-vehicle MAC least-privilege probe (and the MAC
+	// module derivation entirely).
+	SkipMAC bool
 }
 
 func (c *Config) applyDefaults() {
@@ -154,20 +166,27 @@ func buildProbes(sh *shared) {
 // order.
 func Run(cfg Config) (*FleetReport, error) {
 	cfg.applyDefaults()
-	h, err := attack.NewHarness()
-	if err != nil {
-		return nil, err
+	h := cfg.Harness
+	if h == nil {
+		var err error
+		if h, err = attack.NewHarness(); err != nil {
+			return nil, err
+		}
 	}
-	analysis, err := car.Analyze()
-	if err != nil {
-		return nil, err
+	sh := &shared{cfg: cfg, harness: h}
+	if !cfg.SkipMAC {
+		analysis, err := car.Analyze()
+		if err != nil {
+			return nil, err
+		}
+		module, err := core.DeriveMACModule(analysis, "car-base", 1)
+		if err != nil {
+			return nil, err
+		}
+		sh.macModule = module
+		sh.analysis = analysis
+		buildProbes(sh)
 	}
-	module, err := core.DeriveMACModule(analysis, "car-base", 1)
-	if err != nil {
-		return nil, err
-	}
-	sh := &shared{cfg: cfg, harness: h, macModule: module, analysis: analysis}
-	buildProbes(sh)
 
 	// Work distribution is a shared atomic cursor, not a channel: the old
 	// unbuffered-channel dispatcher made the feeding goroutine a
@@ -237,11 +256,14 @@ func newArena(sh *shared) (*arena, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := mac.NewServer(mac.WithSingleOwner())
-	if err := srv.Load(sh.macModule); err != nil {
-		return nil, err
+	a := &arena{att: att}
+	if !sh.cfg.SkipMAC {
+		a.srv = mac.NewServer(mac.WithSingleOwner())
+		if err := a.srv.Load(sh.macModule); err != nil {
+			return nil, err
+		}
 	}
-	return &arena{att: att, srv: srv}, nil
+	return a, nil
 }
 
 // runVehicle is the pooled counterpart of the package-level runVehicle:
@@ -252,17 +274,21 @@ func (a *arena) runVehicle(sh *shared, index int) (VehicleReport, error) {
 
 	// Live background simulation on the reset vehicle with re-provisioned
 	// pooled engines.
-	c, err := a.att.StartLive(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
-	if err != nil {
-		return rep, err
+	if !sh.cfg.SkipLive {
+		c, err := a.att.StartLive(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
+		if err != nil {
+			return rep, err
+		}
+		c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
+		c.Scheduler().Run()
+		collectLive(&rep, c)
 	}
-	c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
-	c.Scheduler().Run()
-	collectLive(&rep, c)
 
 	// MAC least-privilege probe on the reset pooled server.
-	a.srv.Reset()
-	macProbe(&rep, a.srv, sh)
+	if !sh.cfg.SkipMAC {
+		a.srv.Reset()
+		macProbe(&rep, a.srv, sh)
+	}
 
 	// Per-vehicle attack matrix on the pooled vehicle.
 	a.att.SetSeed(seed)
@@ -283,24 +309,28 @@ func runVehicle(sh *shared, index int) (VehicleReport, error) {
 
 	// Live background simulation: this vehicle's own scheduler, bus, car and
 	// deployed policy engines, driven over the configured horizon.
-	c, err := car.New(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
-	if err != nil {
-		return rep, err
+	if !sh.cfg.SkipLive {
+		c, err := car.New(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
+		if err != nil {
+			return rep, err
+		}
+		if _, err := hpe.Deploy(c.Bus(), sh.harness.Compiled, c, sh.harness.Cycles, car.AllNodes...); err != nil {
+			return rep, err
+		}
+		c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
+		c.Scheduler().Run()
+		collectLive(&rep, c)
 	}
-	if _, err := hpe.Deploy(c.Bus(), sh.harness.Compiled, c, sh.harness.Cycles, car.AllNodes...); err != nil {
-		return rep, err
-	}
-	c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
-	c.Scheduler().Run()
-	collectLive(&rep, c)
 
 	// MAC stack: a per-vehicle server loaded with the derived
 	// type-enforcement module.
-	srv := mac.NewServer()
-	if err := srv.Load(sh.macModule); err != nil {
-		return rep, err
+	if !sh.cfg.SkipMAC {
+		srv := mac.NewServer()
+		if err := srv.Load(sh.macModule); err != nil {
+			return rep, err
+		}
+		macProbe(&rep, srv, sh)
 	}
-	macProbe(&rep, srv, sh)
 
 	// Per-vehicle attack matrix: the full scenario x regime sweep, seeded
 	// with this vehicle's seed.

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/campaign"
+)
+
+// CampaignView renders a campaign sweep as a per-family × per-regime table:
+// the campaign analogue of the attack-results view, with the stage counters
+// multi-stage families produce. The rendering inherits CampaignReport's
+// determinism (no worker counts, no wall-clock values).
+func CampaignView(r *campaign.CampaignReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Campaign %q v%d (seed %#x) — fleet %d, root seed %#x\n",
+		r.Campaign, r.Version, r.Seed, r.Fleet, r.RootSeed)
+	fmt.Fprintf(&b, "%d scenarios/vehicle, %d cells swept; live: delivered=%d errors=%d mean-util=%.4f%%\n\n",
+		r.ScenariosPerVehicle, r.Cells, r.FramesDelivered, r.BusErrors, r.MeanUtilisation*100)
+
+	t := NewTable(
+		Column{Header: "Family"},
+		Column{Header: "Kind"},
+		Column{Header: "Scen", Align: Right},
+		Column{Header: "Regime"},
+		Column{Header: "Runs", Align: Right},
+		Column{Header: "Succeeded", Align: Right},
+		Column{Header: "Blocked", Align: Right},
+		Column{Header: "FalsePos", Align: Right},
+		Column{Header: "Success", Align: Right},
+		Column{Header: "Block", Align: Right},
+		Column{Header: "Stages", Align: Right},
+		Column{Header: "Halted", Align: Right},
+	)
+	addRows := func(name, kind string, scen int, regimes []attack.RegimeSummary) {
+		for i, rs := range regimes {
+			family, k, sc := "", "", ""
+			if i == 0 {
+				family, k, sc = name, kind, fmt.Sprint(scen)
+			}
+			s := rs.Summary
+			t.AddRow(family, k, sc, rs.Regime.String(),
+				fmt.Sprint(s.Runs),
+				fmt.Sprint(s.Succeeded),
+				fmt.Sprint(s.Blocked),
+				fmt.Sprint(s.FalsePositives),
+				fmt.Sprintf("%.1f%%", s.SuccessRate()*100),
+				fmt.Sprintf("%.1f%%", s.BlockRate()*100),
+				stageCell(s.StageRuns),
+				stageCell(s.StagesHalted),
+			)
+		}
+	}
+	for i := range r.Families {
+		f := &r.Families[i]
+		addRows(f.Name, f.Kind, f.Scenarios, f.Regimes)
+		if i < len(r.Families)-1 {
+			t.AddSeparator()
+		}
+	}
+	t.AddSeparator()
+	addRows("TOTAL", "", r.ScenariosPerVehicle, r.Totals)
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// stageCell renders a stage counter, blank when the family is single-stage.
+func stageCell(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprint(n)
+}
