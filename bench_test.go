@@ -10,6 +10,7 @@
 //	C2  BenchmarkClaimEnforcementRobustness — §V-B.2 firmware-compromise claim
 //	E3  BenchmarkFleetSweep                — fleet engine scaling {1,10,100,1000}
 //	E4  BenchmarkCampaignSweep             — procedural campaign sweeps (lite + quickstart)
+//	E5  BenchmarkRiskCalibrate             — threat-model → sweep → calibrated DREAD profile
 //
 // plus the DESIGN.md §5 ablations (HPE lookup structure, AVC cache).
 // Domain metrics are attached via b.ReportMetric so `go test -bench` prints
@@ -34,6 +35,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/policy"
 	"repro/internal/report"
+	"repro/internal/risk"
 	"repro/internal/sim"
 	"repro/internal/threatmodel"
 )
@@ -520,6 +522,45 @@ func BenchmarkCampaignSweep(b *testing.B) {
 			b.ReportMetric(float64(rep.ScenariosPerVehicle), "scenarios/vehicle")
 		})
 	}
+}
+
+// BenchmarkRiskCalibrate (E5) measures the measurement half of the risk
+// pipeline at fleet scale: sweep a synthesized campaign and calibrate the
+// rubric DREAD scores against it. The INFO-2 slice synthesizes one
+// payload-mutation family (3 scenarios × 2 regimes = 6 cells per vehicle) —
+// the same lite-sized per-vehicle workload as BenchmarkCampaignSweep/lite —
+// so vehicles/s is directly comparable and BENCH_3.json gates it (the
+// acceptance floor is 15k vehicles/s).
+func BenchmarkRiskCalibrate(b *testing.B) {
+	out, err := risk.Compile(&risk.Spec{
+		Model:   "connected-car",
+		Seed:    42,
+		Threats: []string{car.ThreatInfoStatusMod},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fleet = 1000
+	var prof *risk.Profile
+	var cells int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Sweep(out.Plan, campaign.SweepConfig{Fleet: fleet, RootSeed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof, err = risk.Calibrate(out.Analysis, rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(prof.Threats) != 1 || len(prof.Threats[0].Families) == 0 {
+			b.Fatal("calibration lost the synthesized family evidence")
+		}
+		cells = rep.Cells
+	}
+	b.ReportMetric(float64(fleet)*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+	b.ReportMetric(prof.Threats[0].Residual, "residual_risk")
 }
 
 // BenchmarkCampaignCompile measures the OEM-side spec path: parse the

@@ -10,8 +10,8 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'FleetSweep|Fig2|CampaignSweep' -benchmem -benchtime 20x . \
-//	  | benchgate -snapshot BENCH_2.json
+//	go test -run '^$' -bench 'FleetSweep|Fig2|CampaignSweep|RiskCalibrate' -benchmem -benchtime 20x . \
+//	  | benchgate -snapshot BENCH_3.json
 //
 // The tool reads benchmark output on stdin. Sub-benchmark names are matched
 // after stripping the trailing -<GOMAXPROCS> suffix; benchmarks missing from
@@ -46,7 +46,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 var allocsField = regexp.MustCompile(`\s([0-9]+) allocs/op`)
 
 func main() {
-	snapPath := flag.String("snapshot", "BENCH_2.json", "benchmark snapshot to compare against")
+	snapPath := flag.String("snapshot", "BENCH_3.json", "benchmark snapshot to compare against")
 	factor := flag.Float64("factor", 2.0, "fail when measured ns/op exceeds snapshot by this factor")
 	allocFactor := flag.Float64("alloc-factor", 2.0, "fail when measured allocs/op exceeds snapshot by this factor (needs -benchmem input)")
 	flag.Parse()

@@ -13,6 +13,8 @@
 //	carsim -fleet 1000 -reuse=false   # fresh-construction reference mode
 //	carsim -campaign examples/campaigns/quickstart.campaign -fleet 100
 //	carsim -campaign examples/campaigns/quickstart.campaign -list-scenarios
+//	carsim -risk examples/threatmodels/connected-car.json
+//	carsim -risk examples/threatmodels/connected-car.json -list-scenarios
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hpe"
 	"repro/internal/report"
+	"repro/internal/risk"
 )
 
 func main() {
@@ -44,16 +47,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root seed for deterministic per-vehicle seed derivation")
 	reuse := flag.Bool("reuse", true, "pool vehicles per worker (reset in place); false rebuilds every stack from scratch")
 	campaignFile := flag.String("campaign", "", "compile a campaign spec (text or JSON) and sweep it across the fleet")
-	listScenarios := flag.Bool("list-scenarios", false, "with -campaign: dump the generated scenario matrix without running it")
+	riskFile := flag.String("risk", "", "run a risk spec: synthesize a campaign from its threat model, sweep it, print the calibrated profile")
+	listScenarios := flag.Bool("list-scenarios", false, "with -campaign or -risk: dump the generated scenario matrix without running it")
 	flag.Parse()
 
-	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *campaignFile, *listScenarios); err != nil {
+	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *campaignFile, *riskFile, *listScenarios); err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse bool, campaignFile string, listScenarios bool) error {
+func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse bool, campaignFile, riskFile string, listScenarios bool) error {
 	if topology {
 		fmt.Print(report.Topology())
 		return nil
@@ -71,15 +75,18 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 	if campaignFile != "" {
 		return runCampaign(campaignFile, listScenarios, fleetSize, workers, seed, reuse)
 	}
+	if riskFile != "" {
+		return runRisk(riskFile, listScenarios, fleetSize, workers, seed, reuse)
+	}
 	if listScenarios {
-		return fmt.Errorf("-list-scenarios requires -campaign")
+		return fmt.Errorf("-list-scenarios requires -campaign or -risk")
 	}
 	if fleetSize > 0 {
 		return runFleet(fleetSize, workers, seed, enforcement, reuse)
 	}
 	if attackSel == "" {
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency, -campaign, -fleet or -attack")
+		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency, -campaign, -risk, -fleet or -attack")
 	}
 	return runAttacks(attackSel, enforcement, trace)
 }
@@ -125,6 +132,52 @@ func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64
 	}
 	fmt.Printf("\nthroughput: %.0f vehicles/s, %.0f cells/s (%s vehicles, %v wall clock)\n",
 		float64(fleetSize)/elapsed.Seconds(), float64(rep.Cells)/elapsed.Seconds(),
+		mode, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// runRisk executes the risk pipeline: parse the spec, synthesize a campaign
+// from its threat model, sweep it across the fleet, and print the
+// calibrated rubric-vs-measured profile. The profile itself is
+// deterministic; the wall-clock throughput line prints separately.
+func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := risk.ParseSpec(string(raw))
+	if err != nil {
+		return err
+	}
+	if listOnly {
+		out, err := risk.Compile(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out.Plan.Matrix())
+		return nil
+	}
+	if fleetSize <= 0 {
+		fleetSize = 1
+	}
+	start := time.Now()
+	out, err := risk.Run(spec, risk.RunConfig{
+		Fleet:         fleetSize,
+		Workers:       workers,
+		RootSeed:      seed,
+		FreshVehicles: !reuse,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Print(report.RiskView(out.Profile))
+	mode := "pooled"
+	if !reuse {
+		mode = "fresh"
+	}
+	fmt.Printf("\nthroughput: %.0f vehicles/s, %.0f cells/s (%s vehicles, %v wall clock)\n",
+		float64(out.Report.Fleet)/elapsed.Seconds(), float64(out.Report.Cells)/elapsed.Seconds(),
 		mode, elapsed.Round(time.Millisecond))
 	return nil
 }

@@ -36,6 +36,14 @@
 //     attack.Scenario cells and swept on the fleet engine with SplitMix64
 //     sub-seeds (CampaignReport byte-identical across worker counts and
 //     pooled/fresh runs); shipped specs live under examples/campaigns
+//   - internal/risk      — empirically-grounded risk scoring: the threat
+//     model compiles into campaign families (risk.Synthesize: tampering →
+//     payload mutations, DoS → floods, elevation → staged kill chains) and
+//     the swept report reconciles each threat's rubric DREAD score with
+//     measured evidence (risk.Calibrate: block rates → exploitability and
+//     affected-users, goal hits → damage), yielding a deterministic
+//     rubric-vs-measured profile with a ranked residual-risk table; run
+//     specs live under examples/threatmodels (carsim -risk)
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see DESIGN.md for the experiment index and

@@ -4,7 +4,11 @@
 package repro_test
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -323,6 +327,64 @@ func TestArtifactsRenderTogether(t *testing.T) {
 		if !strings.Contains(topo, asset.Node) {
 			t.Errorf("asset node %s missing from topology", asset.Node)
 		}
+	}
+}
+
+// TestRiskPipelineEndToEnd drives `carsim -risk` on the shipped example
+// threat-model spec exactly as a user would: build the binary, run it, and
+// require a zero exit code plus a profile byte-identical to the checked-in
+// golden file. The spec pins fleet and root seed, so the deterministic part
+// of the output (everything before the wall-clock throughput line) must not
+// move with worker count or pooling mode; a bad spec path must exit 1.
+func TestRiskPipelineEndToEnd(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "carsim")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/carsim").CombinedOutput(); err != nil {
+		t.Fatalf("build carsim: %v\n%s", err, out)
+	}
+	const spec = "examples/threatmodels/connected-car.json"
+
+	profile := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, append([]string{"-risk", spec}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("carsim -risk %v: %v\n%s", args, err, out)
+		}
+		body, _, found := strings.Cut(string(out), "\nthroughput:")
+		if !found {
+			t.Fatalf("no throughput line in output:\n%s", out)
+		}
+		return body
+	}
+
+	got := profile()
+	want, err := os.ReadFile("testdata/risk_profile.golden")
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go run ./cmd/carsim -risk %s, dropping the throughput line)", err, spec)
+	}
+	if got != strings.TrimSuffix(string(want), "\n") {
+		t.Errorf("profile drifted from testdata/risk_profile.golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Same profile whatever the parallelism or pooling mode — the
+	// determinism contract enforced through the real binary.
+	if alt := profile("-workers", "1", "-reuse=false"); alt != got {
+		t.Errorf("profile differs for -workers 1 -reuse=false:\n--- default ---\n%s\n--- alt ---\n%s", got, alt)
+	}
+
+	// The scenario matrix dump must work and stay sweep-free.
+	if out, err := exec.Command(bin, "-risk", spec, "-list-scenarios").CombinedOutput(); err != nil {
+		t.Errorf("-list-scenarios failed: %v\n%s", err, out)
+	} else if !strings.Contains(string(out), "risk-connected-car") {
+		t.Errorf("-list-scenarios output missing campaign name:\n%s", out)
+	}
+
+	// Failure path: a missing spec exits 1, not 0 and not a panic.
+	err = exec.Command(bin, "-risk", "no-such-spec.json").Run()
+	var exit *exec.ExitError
+	if err == nil {
+		t.Error("missing spec exited 0")
+	} else if !errors.As(err, &exit) || exit.ExitCode() != 1 {
+		t.Errorf("missing spec: %v, want exit code 1", err)
 	}
 }
 

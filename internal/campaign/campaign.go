@@ -238,6 +238,14 @@ var predicates = map[string]func(car.State) bool{
 	"exfil":              func(s car.State) bool { return s.ExfilReports > 0 },
 }
 
+// HasPredicate reports whether name is in the DSL's predicate vocabulary —
+// the check risk synthesis applies to threat goals before lowering them into
+// generated flood/staged families.
+func HasPredicate(name string) bool {
+	_, ok := predicates[name]
+	return ok
+}
+
 // PredicateNames lists the DSL's predicate vocabulary, sorted.
 func PredicateNames() []string {
 	out := make([]string, 0, len(predicates))
@@ -250,6 +258,11 @@ func PredicateNames() []string {
 
 // Enforcement regime words accepted in regimes lists.
 var regimeWords = map[string]bool{"none": true, "software": true, "hpe": true, "behaviour": true}
+
+// Normalize canonicalises a programmatically built spec the same way Parse
+// canonicalises parsed ones, so synthesized specs (internal/risk) satisfy the
+// render round-trip invariant: Parse(sp.String()) deep-equals sp.
+func (sp *Spec) Normalize() { sp.normalize() }
 
 // normalize canonicalises a parsed spec so the DSL and JSON branches yield
 // identical in-memory values: empty slices become nil, regime/kind words

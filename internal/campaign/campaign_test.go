@@ -88,14 +88,14 @@ func TestParseJSONEquivalence(t *testing.T) {
 func TestParseRejectsInvalid(t *testing.T) {
 	bad := []string{
 		``,
-		`campaign "x" version 1 {}`,                                     // no generators
-		`campaign "x" version 1 { mutate "m" { base NO-SUCH } }`,        // unknown base caught at compile, spec ok — see below
-		`campaign "x" version 1 { regimes warp mutate "m" {} }`,         // unknown regime
-		`campaign "x" version 1 { flood "f" {} }`,                       // no teams
-		`campaign "x" version 1 { staged "s" { goal always } }`,         // no attackers
-		`campaign "x" version 1 { mutate "m" {} mutate "m" {} }`,        // duplicate family
-		`campaign "x" version 1 { staged "s" { attackers A } }`,         // no goal
-		`campaign "x" version 1 { mutate "m" { repeats 0 } }`,           // bad repeat
+		`campaign "x" version 1 {}`, // no generators
+		`campaign "x" version 1 { mutate "m" { base NO-SUCH } }`,                // unknown base caught at compile, spec ok — see below
+		`campaign "x" version 1 { regimes warp mutate "m" {} }`,                 // unknown regime
+		`campaign "x" version 1 { flood "f" {} }`,                               // no teams
+		`campaign "x" version 1 { staged "s" { goal always } }`,                 // no attackers
+		`campaign "x" version 1 { mutate "m" {} mutate "m" {} }`,                // duplicate family
+		`campaign "x" version 1 { staged "s" { attackers A } }`,                 // no goal
+		`campaign "x" version 1 { mutate "m" { repeats 0 } }`,                   // bad repeat
 		`campaign "x" version 1 { mutate "m" { payloads 010203040506070809 } }`, // >8 bytes
 		`{"name":"x","version":1,"generators":[{"kind":"warp","name":"g"}]}`,    // bad kind via JSON
 	}
@@ -274,5 +274,75 @@ func TestDurationAndHexForms(t *testing.T) {
 	}
 	if _, err := parseHex("EE0"); err == nil {
 		t.Error("odd-length hex should fail")
+	}
+}
+
+// TestStagedFromRoutesToRenamedPrimary: an outside-placement variant
+// renames a catalog attacker to its rogue form; stage injections whose From
+// names the attacker by its axis name must still route to that (renamed)
+// primary, not spawn a spurious *inside* coattacker that changes what the
+// placement axis measures.
+func TestStagedFromRoutesToRenamedPrimary(t *testing.T) {
+	plan, err := (Compiler{}).Compile(MustParse(`
+campaign "route" version 1 {
+  staged "st" {
+    attackers Telematics
+    placements inside, outside
+    goal exfil
+    stage "one" { inject 0x300 EE x 2 from Telematics }
+  }
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := plan.Families[0].Scenarios
+	if len(scenarios) != 2 {
+		t.Fatalf("expected 2 variants, got %d", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		if len(sc.Coattackers) != 0 {
+			t.Errorf("%s: primary-addressed From spawned coattackers %v", sc.Name, sc.Coattackers)
+		}
+		for _, inj := range sc.Stages[0].Injections {
+			if inj.From != "" {
+				t.Errorf("%s: injection From %q did not resolve to the primary", sc.Name, inj.From)
+			}
+		}
+	}
+	if scenarios[1].Attacker != "Rogue-Telematics" {
+		t.Errorf("outside variant attacker = %q", scenarios[1].Attacker)
+	}
+}
+
+// TestMutateProductCapOverflow: the family-size cap must hold even when the
+// naive axis product would overflow int — duplicate-heavy axes may not slip
+// a gigantic (or wrapped-negative) cross-product past validation.
+func TestMutateProductCapOverflow(t *testing.T) {
+	g := GeneratorSpec{Kind: KindMutate, Name: "big"}
+	axis := make([]string, 1<<13)
+	for i := range axis {
+		axis[i] = "Infotainment"
+	}
+	g.Attackers = axis
+	g.Modes = append([]string(nil), axis...)
+	g.Placements = []string{"inside", "inside", "inside", "inside"}
+	reps := make([]int, 1<<13)
+	for i := range reps {
+		reps[i] = 1
+	}
+	g.Repeats = reps
+	gaps := make([]Duration, 1<<13)
+	for i := range gaps {
+		gaps[i] = Duration(time.Millisecond)
+	}
+	g.Gaps = gaps
+	pays := make([]HexBytes, 1<<13)
+	for i := range pays {
+		pays[i] = HexBytes{0x01}
+	}
+	g.Payloads = pays
+	// 16 bases x 8192^5 x 4 ≈ 2^69: wraps negative/small in int arithmetic.
+	if _, err := expandMutate(&g, attack.Scenarios(), 1); err == nil {
+		t.Fatal("overflowing cross-product accepted")
 	}
 }

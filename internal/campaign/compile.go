@@ -93,6 +93,22 @@ func regimeNames(regimes []attack.Enforcement) string {
 	return strings.Join(parts, ",")
 }
 
+// capProduct enforces the family-size cap on a cross-product of axis
+// lengths, multiplying incrementally and bailing as soon as the running
+// product exceeds it: axis lengths are unbounded (duplicates are legal), so
+// a single product expression could overflow int and slip a gigantic family
+// past the cap as a small or negative number.
+func capProduct(dims ...int) error {
+	product := 1
+	for _, n := range dims {
+		product *= n
+		if product > maxFamilyScenarios {
+			return fmt.Errorf("cross-product exceeds the %d cap", maxFamilyScenarios)
+		}
+	}
+	return nil
+}
+
 // splitmix advances a SplitMix64 state and returns the next output: the
 // deterministic stream behind pick sampling. Sub-seed *derivation* reuses
 // engine.VehicleSeed so the whole stack shares one mixing primitive.
@@ -214,7 +230,7 @@ func orDefault(vals []string) []string {
 func expandMutate(g *GeneratorSpec, bases []attack.Scenario, famSeed uint64) ([]attack.Scenario, error) {
 	selected := bases
 	if g.Base != "" {
-		sc, ok := baseFor(bases, g.Base)
+		sc, ok := BaseFor(bases, g.Base)
 		if !ok {
 			return nil, fmt.Errorf("unknown base threat %q", g.Base)
 		}
@@ -236,10 +252,9 @@ func expandMutate(g *GeneratorSpec, bases []attack.Scenario, famSeed uint64) ([]
 		payloads = []HexBytes{nil}
 	}
 
-	product := len(selected) * len(attackers) * len(placements) * len(modes) *
-		len(repeats) * len(gaps) * len(payloads)
-	if product > maxFamilyScenarios {
-		return nil, fmt.Errorf("cross-product of %d combos exceeds the %d cap", product, maxFamilyScenarios)
+	if err := capProduct(len(selected), len(attackers), len(placements),
+		len(modes), len(repeats), len(gaps), len(payloads)); err != nil {
+		return nil, err
 	}
 
 	var out []attack.Scenario
@@ -267,8 +282,10 @@ func expandMutate(g *GeneratorSpec, bases []attack.Scenario, famSeed uint64) ([]
 	return samplePick(out, g.Pick, famSeed), nil
 }
 
-// baseFor finds a baseline by threat ID.
-func baseFor(bases []attack.Scenario, threatID string) (attack.Scenario, bool) {
+// BaseFor finds a baseline scenario by threat ID in a catalog — shared by
+// mutate expansion here and by risk synthesis, so the two halves of the
+// threat-grounding contract can never diverge on the lookup rule.
+func BaseFor(bases []attack.Scenario, threatID string) (attack.Scenario, bool) {
 	for _, sc := range bases {
 		if sc.ThreatID == threatID {
 			return sc, true
@@ -366,8 +383,8 @@ func expandFlood(g *GeneratorSpec) ([]attack.Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(g.Teams)*len(rates)*len(frames) > maxFamilyScenarios {
-		return nil, fmt.Errorf("flood cross-product exceeds the %d cap", maxFamilyScenarios)
+	if err := capProduct(len(g.Teams), len(rates), len(frames)); err != nil {
+		return nil, err
 	}
 
 	var out []attack.Scenario
@@ -443,8 +460,8 @@ func expandStaged(g *GeneratorSpec) ([]attack.Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(g.Attackers)*len(placements)*len(modes) > maxFamilyScenarios {
-		return nil, fmt.Errorf("staged cross-product exceeds the %d cap", maxFamilyScenarios)
+	if err := capProduct(len(g.Attackers), len(placements), len(modes)); err != nil {
+		return nil, err
 	}
 
 	var out []attack.Scenario
@@ -476,15 +493,24 @@ func expandStaged(g *GeneratorSpec) ([]attack.Scenario, error) {
 						st.Proceed = predicates[stSpec.Proceed]
 					}
 					for _, inj := range stSpec.Injections {
-						if inj.From != "" && inj.From != attacker {
-							addCoattacker(&sc, inj.From)
+						// A From naming this variant's attacker — by its axis
+						// name or its renamed rogue form — routes to the
+						// primary; anything else joins as a coattacker. (An
+						// outside variant renames catalog attackers, so
+						// comparing the renamed form alone would demote the
+						// primary to a spurious *inside* coattacker.)
+						from := inj.From
+						if from == att || from == attacker {
+							from = ""
+						} else if from != "" {
+							addCoattacker(&sc, from)
 						}
 						st.Injections = append(st.Injections, attack.Injection{
 							ID:     inj.ID,
 							Data:   inj.Data,
 							Repeat: inj.Repeat,
 							Gap:    time.Duration(inj.Gap),
-							From:   inj.From,
+							From:   from,
 						})
 					}
 					sc.Stages = append(sc.Stages, st)

@@ -35,6 +35,7 @@ func Threats() []threatmodel.Threat {
 	return []threatmodel.Threat{
 		{
 			ID:          ThreatECUSpoofLocks,
+			Goal:        "propulsion-off",
 			Description: "Spoofed data over CANbus causing disablement of ECU",
 			Asset:       AssetEVECU,
 			EntryPoints: []string{EntryDoorLocksSafety},
@@ -51,6 +52,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatECUSpoofSensors,
+			Goal:        "propulsion-off",
 			Description: "Spoofed data over CANbus causing disablement of ECU",
 			Asset:       AssetEVECU,
 			EntryPoints: []string{EntrySensors},
@@ -67,6 +69,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatECUTrackingOff,
+			Goal:        "tracking-off",
 			Description: "Disabled remote tracking system after theft",
 			Asset:       AssetEVECU,
 			EntryPoints: []string{EntryConnectivity},
@@ -83,6 +86,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatECUFailsafeOvrd,
+			Goal:        "propulsion-on",
 			Description: "Fail-safe protection override to reactivate vehicle",
 			Asset:       AssetEVECU,
 			EntryPoints: []string{EntryConnectivity},
@@ -99,6 +103,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatEPSDeactivate,
+			Goal:        "eps-off",
 			Description: "EPS deactivation through compromised CAN node.",
 			Asset:       AssetEPS,
 			EntryPoints: []string{EntryAnyNode},
@@ -115,6 +120,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatEngineDeactivate,
+			Goal:        "engine-off",
 			Description: "Deactivation through compromised sensor",
 			Asset:       AssetEngine,
 			EntryPoints: []string{EntrySensors},
@@ -131,6 +137,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatConnCritModify,
+			Goal:        "firmware-modified",
 			Description: "Critical component modification during operation",
 			Asset:       AssetConnectivity,
 			EntryPoints: []string{EntryEVECUSensors},
@@ -150,6 +157,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatConnPrivacy,
+			Goal:        "exfil",
 			Description: "Privacy attack using modified radio firmware",
 			Asset:       AssetConnectivity,
 			EntryPoints: []string{EntryInfotainment},
@@ -166,6 +174,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatConnModemOffEmg,
+			Goal:        "modem-off",
 			Description: "Prevent operation of fail-safe comms by disabling modem.",
 			Asset:       AssetConnectivity,
 			EntryPoints: []string{EntryEmergencyDoors},
@@ -182,6 +191,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatConnModemOffSens,
+			Goal:        "modem-off",
 			Description: "Prevent operation of fail-safe comms by disabling modem.",
 			Asset:       AssetConnectivity,
 			EntryPoints: []string{EntrySensorsAirbags},
@@ -198,6 +208,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatInfoEscalate,
+			Goal:        "firmware-modified",
 			Description: "Exploit to gain access to higher control level",
 			Asset:       AssetInfotainment,
 			EntryPoints: []string{EntryMediaBrowser},
@@ -214,6 +225,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatInfoStatusMod,
+			Goal:        "display-mismatch",
 			Description: "Modification of car status values, GPS, speed, etc",
 			Asset:       AssetInfotainment,
 			EntryPoints: []string{EntrySensorsEVECU},
@@ -230,6 +242,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatDoorUnlockMotion,
+			Goal:        "doors-unlocked",
 			Description: "Unlock attempt while in motion",
 			Asset:       AssetDoorLocks,
 			EntryPoints: []string{EntryConnManual},
@@ -246,6 +259,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatDoorLockAccident,
+			Goal:        "doors-locked",
 			Description: "Lock mechanism triggered during accident",
 			Asset:       AssetDoorLocks,
 			EntryPoints: []string{EntryConnSafety},
@@ -262,6 +276,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatSafetyFalseTrig,
+			Goal:        "doors-unlocked",
 			Description: "False triggering of fail-safe mode to unlock vehicle",
 			Asset:       AssetSafety,
 			EntryPoints: []string{EntrySensors},
@@ -278,6 +293,7 @@ func Threats() []threatmodel.Threat {
 		},
 		{
 			ID:          ThreatSafetyAlarmOff,
+			Goal:        "alarm-off",
 			Description: "Disable alarm and locking system to allow theft",
 			Asset:       AssetSafety,
 			EntryPoints: []string{EntrySensors},

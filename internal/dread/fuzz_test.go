@@ -1,0 +1,45 @@
+package dread
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the Table I score parser: it must never
+// panic, and any rendering it accepts must round-trip — Parse(s).String()
+// re-parses to an identical Score, the same identity invariant the campaign
+// and policy grammars enforce. A seed corpus under testdata/fuzz keeps the
+// CI smoke warm.
+func FuzzParse(f *testing.F) {
+	f.Add("8,5,4,6,4 (5.4)")
+	f.Add("8,5,4,6,4")
+	f.Add("0,0,0,0,0 (0.0)")
+	f.Add("10,10,10,10,10 (10.0)")
+	f.Add(" 7 , 5 , 5 , 9 , 4 ")
+	f.Add("9,4,5,9,4 (6.2)")
+	f.Add("1,2,3")
+	f.Add("8,5,4,6,4 (9.9)")
+	f.Add("11,0,0,0,0")
+	f.Add("-1,5,4,6,4")
+	f.Add("8,5,4,6,4 (")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted score out of range: %v (%q)", err, src)
+		}
+		rendered := s.String()
+		s2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted score does not re-parse: %v\n--- source ---\n%q\n--- rendered ---\n%q",
+				err, src, rendered)
+		}
+		if s2 != s {
+			t.Fatalf("render round trip changed the score: %v -> %v (source %q)", s, s2, src)
+		}
+		// The severity band must be stable through the round trip too.
+		if s2.Rate() != s.Rate() {
+			t.Fatalf("round trip changed the rating: %v -> %v", s.Rate(), s2.Rate())
+		}
+	})
+}

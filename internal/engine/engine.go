@@ -41,7 +41,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/hpe"
 	"repro/internal/mac"
-	"repro/internal/threatmodel"
 )
 
 // Config parameterises a fleet run.
@@ -141,7 +140,6 @@ type shared struct {
 	cfg       Config
 	harness   *attack.Harness
 	macModule *mac.Module
-	analysis  *threatmodel.Analysis
 	probes    []macCheck // legitimate catalog writers, in catalog order
 	spoof     macCheck   // the infotainment→ECU spoof probe
 }
@@ -184,7 +182,6 @@ func Run(cfg Config) (*FleetReport, error) {
 			return nil, err
 		}
 		sh.macModule = module
-		sh.analysis = analysis
 		buildProbes(sh)
 	}
 

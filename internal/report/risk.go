@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/risk"
+)
+
+// RiskView renders a calibrated risk profile as two tables: the ranked
+// residual-risk table (rubric vs measured DREAD per threat) and the
+// per-family evidence table behind it. Like CampaignView, the rendering
+// inherits its input's determinism — byte-identical across worker counts
+// and pooled/fresh sweeps.
+func RiskView(p *risk.Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Risk profile of %q — campaign %q v%d (seed %#x, root seed %#x, fleet %d, %d cells)\n\n",
+		p.Model, p.Campaign, p.Version, p.Seed, p.RootSeed, p.Fleet, p.Cells)
+
+	ranked := NewTable(
+		Column{Header: "#", Align: Right},
+		Column{Header: "Threat"},
+		Column{Header: "STRIDE"},
+		Column{Header: "Rubric DREAD"},
+		Column{Header: "Measured DREAD"},
+		Column{Header: "Delta"},
+		Column{Header: "Band"},
+		Column{Header: "UndefSucc", Align: Right},
+		Column{Header: "DefBlock", Align: Right},
+		Column{Header: "Residual", Align: Right},
+	)
+	for i := range p.Threats {
+		tc := &p.Threats[i]
+		band := tc.RubricRating.String()
+		if tc.MeasuredRating != tc.RubricRating {
+			band = fmt.Sprintf("%s->%s", tc.RubricRating, tc.MeasuredRating)
+		}
+		ranked.AddRow(
+			fmt.Sprint(i+1),
+			tc.ThreatID,
+			tc.Stride.String(),
+			tc.Rubric.String(),
+			tc.Measured.String(),
+			tc.Delta.String(),
+			band,
+			fmt.Sprintf("%.1f%%", tc.UndefendedSuccess*100),
+			fmt.Sprintf("%.1f%%", tc.DefendedBlock*100),
+			fmt.Sprintf("%.2f", tc.Residual),
+		)
+	}
+	b.WriteString("Residual risk, ranked (measured average discounted by defended block rate):\n")
+	b.WriteString(ranked.String())
+
+	evidence := NewTable(
+		Column{Header: "Family"},
+		Column{Header: "Kind"},
+		Column{Header: "Scen", Align: Right},
+		Column{Header: "UndefRuns", Align: Right},
+		Column{Header: "UndefSucc", Align: Right},
+		Column{Header: "DefRuns", Align: Right},
+		Column{Header: "DefBlock", Align: Right},
+		Column{Header: "Goal", Align: Right},
+		Column{Header: "Delta"},
+	)
+	for i := range p.Threats {
+		tc := &p.Threats[i]
+		for j := range tc.Families {
+			f := &tc.Families[j]
+			goal := ""
+			if f.GoalRuns > 0 {
+				goal = fmt.Sprintf("%d/%d", f.GoalHits, f.GoalRuns)
+			}
+			evidence.AddRow(
+				f.Name,
+				f.Kind,
+				fmt.Sprint(f.Scenarios),
+				fmt.Sprint(f.Undefended.Runs),
+				fmt.Sprintf("%.1f%%", f.Undefended.SuccessRate()*100),
+				fmt.Sprint(f.Defended.Runs),
+				fmt.Sprintf("%.1f%%", f.Defended.BlockRate()*100),
+				goal,
+				f.Delta.String(),
+			)
+		}
+	}
+	b.WriteString("\nPer-family evidence (measured DREAD adjustments per synthesized family):\n")
+	b.WriteString(evidence.String())
+
+	if len(p.Uncovered) > 0 {
+		fmt.Fprintf(&b, "\nuncovered threats (no synthesizable family): %s\n", strings.Join(p.Uncovered, ", "))
+	}
+	return b.String()
+}

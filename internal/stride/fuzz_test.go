@@ -1,0 +1,46 @@
+package stride
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the Table I letter-notation parser: it
+// must never panic, and any set it accepts must satisfy two identities —
+// Parse(set.String()) returns the same set (canonical rendering round
+// trip), and Classify(EffectsOf(set)) reconstructs it (the classification
+// inverse the pipeline's rating stage relies on). A seed corpus under
+// testdata/fuzz keeps the CI smoke warm.
+func FuzzParse(f *testing.F) {
+	f.Add("STD")
+	f.Add("STIDE")
+	f.Add("stide")
+	f.Add("SD")
+	f.Add("TDE")
+	f.Add("STR")
+	f.Add("TE")
+	f.Add("-")
+	f.Add("")
+	f.Add("SSTTDD")
+	f.Add("STDX")
+	f.Add("S T D")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		set, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := set.String()
+		set2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted set does not re-parse: %v\n--- source ---\n%q\n--- rendered ---\n%q",
+				err, src, rendered)
+		}
+		if set2 != set {
+			t.Fatalf("render round trip changed the set: %v -> %v (source %q)", set, set2, src)
+		}
+		if got := Classify(EffectsOf(set)); got != set {
+			t.Fatalf("Classify(EffectsOf(%v)) = %v", set, got)
+		}
+		if set.Count() != len(set.Categories()) {
+			t.Fatalf("count %d disagrees with categories %v", set.Count(), set.Categories())
+		}
+	})
+}

@@ -108,6 +108,14 @@ type Threat struct {
 	Adjust dread.Adjust
 	// Vector is the malicious data-flow direction (drives the policy letter).
 	Vector Vector
+	// Goal names the observable-state predicate (campaign vocabulary) that
+	// detects the threat's effect on a simulated vehicle. It grounds the
+	// threat in the measurement substrate: risk synthesis uses it as the
+	// success goal of generated flood/staged families, and calibration counts
+	// its hits as damage evidence. Empty means the effect has no single
+	// observable predicate; such threats still synthesize mutation families
+	// (which inherit the baseline scenario's success check).
+	Goal string
 }
 
 // RatedThreat is a threat after the rating stage.
