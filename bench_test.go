@@ -483,12 +483,14 @@ func loadCampaign(b *testing.B, path string) *campaign.Plan {
 	return plan
 }
 
-// BenchmarkCampaignSweep (E4) sweeps the shipped campaign specs across a
-// simulated fleet on the pooled engine. The lite spec matches
+// BenchmarkCampaignSweep (E4/E6) sweeps the shipped campaign specs across a
+// simulated fleet on the vehicle-major pooled engine. The lite spec matches
 // BenchmarkFleetSweep's per-vehicle workload (3 scenarios × 2 regimes) and
 // measures raw campaign throughput at fleet=1000; the quickstart spec
 // expands to 210 distinct scenarios (258 cells) per vehicle, so its
 // vehicles/s is lower by construction and cells/s is the comparable unit.
+// quickstart/fleet=1000 is the headline BENCH_4 gate: the whole campaign,
+// fleet-scale, one pass over the vehicles.
 func BenchmarkCampaignSweep(b *testing.B) {
 	cases := []struct {
 		name  string
@@ -497,6 +499,7 @@ func BenchmarkCampaignSweep(b *testing.B) {
 	}{
 		{"lite/fleet=1000", "examples/campaigns/lite.campaign", 1000},
 		{"quickstart/fleet=100", "examples/campaigns/quickstart.campaign", 100},
+		{"quickstart/fleet=1000", "examples/campaigns/quickstart.campaign", 1000},
 	}
 	for _, tc := range cases {
 		plan := loadCampaign(b, tc.path)

@@ -11,11 +11,14 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'FleetSweep|Fig2|CampaignSweep|RiskCalibrate' -benchmem -benchtime 20x . \
-//	  | benchgate -snapshot BENCH_3.json
+//	  | benchgate -snapshot BENCH_4.json
 //
 // The tool reads benchmark output on stdin. Sub-benchmark names are matched
 // after stripping the trailing -<GOMAXPROCS> suffix; benchmarks missing from
-// the snapshot are ignored, but at least one must match.
+// the snapshot are ignored, but at least one must match. After the verdicts
+// it prints a benchstat-style delta summary (snapshot vs measured, signed
+// percentages) so the CI log shows how far each hot path moved, not just
+// whether it crossed the failure factor.
 package main
 
 import (
@@ -45,8 +48,45 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 // allocsField matches the -benchmem allocation column anywhere in the line.
 var allocsField = regexp.MustCompile(`\s([0-9]+) allocs/op`)
 
+// deltaRow is one matched benchmark's old-vs-new comparison for the summary
+// table.
+type deltaRow struct {
+	name               string
+	oldNs, newNs       float64
+	oldAllocs, nAllocs float64 // -1 when either side lacks allocation data
+}
+
+// pct renders a benchstat-style signed percentage: negative is an
+// improvement (less time / fewer allocations than the snapshot).
+func pct(oldV, newV float64) string {
+	if oldV <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+// printDeltaSummary renders the benchstat-style comparison table the CI log
+// shows alongside the pass/fail verdicts: per benchmark, snapshot vs
+// measured ns/op (and allocs/op when both sides carry it) with the signed
+// percentage delta, so an improvement or a creeping sub-gate regression is
+// visible without downloading artifacts and running benchstat by hand.
+func printDeltaSummary(snapPath string, rows []deltaRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("\nbenchgate: delta summary vs %s (negative = improvement)\n", snapPath)
+	fmt.Printf("  %-44s %14s %14s %9s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, r := range rows {
+		allocCols := fmt.Sprintf("%12s %12s %8s", "-", "-", "-")
+		if r.oldAllocs >= 0 && r.nAllocs >= 0 {
+			allocCols = fmt.Sprintf("%12.0f %12.0f %8s", r.oldAllocs, r.nAllocs, pct(r.oldAllocs, r.nAllocs))
+		}
+		fmt.Printf("  %-44s %14.0f %14.0f %9s %s\n", r.name, r.oldNs, r.newNs, pct(r.oldNs, r.newNs), allocCols)
+	}
+}
+
 func main() {
-	snapPath := flag.String("snapshot", "BENCH_3.json", "benchmark snapshot to compare against")
+	snapPath := flag.String("snapshot", "BENCH_4.json", "benchmark snapshot to compare against")
 	factor := flag.Float64("factor", 2.0, "fail when measured ns/op exceeds snapshot by this factor")
 	allocFactor := flag.Float64("alloc-factor", 2.0, "fail when measured allocs/op exceeds snapshot by this factor (needs -benchmem input)")
 	flag.Parse()
@@ -61,6 +101,7 @@ func main() {
 	}
 
 	matched, failed := 0, 0
+	var deltas []deltaRow
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
@@ -87,26 +128,26 @@ func main() {
 		}
 		fmt.Printf("benchgate: %-40s %12.0f ns/op vs snapshot %12.0f (%.2fx) %s\n",
 			name, measured, entry.NsPerOp, ratio, verdict)
+		row := deltaRow{name: name, oldNs: entry.NsPerOp, newNs: measured, oldAllocs: -1, nAllocs: -1}
 
 		// Allocation gate: only when both sides carry the data. A pooled
 		// substrate's allocs/op is nearly exact, so >allocFactor means a
 		// hot path started allocating, not that the machine is slow.
 		am := allocsField.FindStringSubmatch(line)
-		if am == nil || entry.AllocsPerOp <= 0 {
-			continue
+		if am != nil && entry.AllocsPerOp > 0 {
+			if allocs, err := strconv.ParseFloat(am[1], 64); err == nil {
+				row.oldAllocs, row.nAllocs = entry.AllocsPerOp, allocs
+				aratio := allocs / entry.AllocsPerOp
+				verdict = "ok"
+				if aratio > *allocFactor {
+					verdict = "ALLOC REGRESSION"
+					failed++
+				}
+				fmt.Printf("benchgate: %-40s %12.0f allocs/op vs snapshot %12.0f (%.2fx) %s\n",
+					name, allocs, entry.AllocsPerOp, aratio, verdict)
+			}
 		}
-		allocs, err := strconv.ParseFloat(am[1], 64)
-		if err != nil {
-			continue
-		}
-		aratio := allocs / entry.AllocsPerOp
-		verdict = "ok"
-		if aratio > *allocFactor {
-			verdict = "ALLOC REGRESSION"
-			failed++
-		}
-		fmt.Printf("benchgate: %-40s %12.0f allocs/op vs snapshot %12.0f (%.2fx) %s\n",
-			name, allocs, entry.AllocsPerOp, aratio, verdict)
+		deltas = append(deltas, row)
 	}
 	if err := sc.Err(); err != nil {
 		fatal("read stdin: %v", err)
@@ -114,6 +155,7 @@ func main() {
 	if matched == 0 {
 		fatal("no benchmark in the input matched the snapshot %s", *snapPath)
 	}
+	printDeltaSummary(*snapPath, deltas)
 	if failed > 0 {
 		fatal("%d benchmark gate(s) exceeded %.1fx (ns/op) / %.1fx (allocs/op) vs %s",
 			failed, *factor, *allocFactor, *snapPath)

@@ -15,12 +15,15 @@
 //	carsim -campaign examples/campaigns/quickstart.campaign -list-scenarios
 //	carsim -risk examples/threatmodels/connected-car.json
 //	carsim -risk examples/threatmodels/connected-car.json -list-scenarios
+//	carsim -campaign examples/campaigns/quickstart.campaign -fleet 100 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -49,12 +52,77 @@ func main() {
 	campaignFile := flag.String("campaign", "", "compile a campaign spec (text or JSON) and sweep it across the fleet")
 	riskFile := flag.String("risk", "", "run a risk spec: synthesize a campaign from its threat model, sweep it, print the calibrated profile")
 	listScenarios := flag.Bool("list-scenarios", false, "with -campaign or -risk: dump the generated scenario matrix without running it")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	flag.Parse()
 
-	if err := run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *campaignFile, *riskFile, *listScenarios); err != nil {
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)
 	}
+	// Profiles are flushed through a defer before the exit-code decision, so
+	// a failing — or panicking — sweep can still be diagnosed from them.
+	var flushErr error
+	err = func() error {
+		defer func() { flushErr = stopProfiles() }()
+		return run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *campaignFile, *riskFile, *listScenarios)
+	}()
+	if err == nil {
+		err = flushErr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles arms the requested pprof outputs and returns the flush
+// function: CPU profiling stops and the heap profile is written (after a
+// final GC, so the snapshot shows live retention rather than garbage) when
+// the run ends, whether it succeeded or not. Both files are created up
+// front so a bad path fails before the sweep runs, not after.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile, memFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+		memFile = f
+	}
+	return func() error {
+		var err error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			err = cpuFile.Close()
+		}
+		if memFile != nil {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(memFile); werr != nil && err == nil {
+				err = werr
+			}
+			if cerr := memFile.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}, nil
 }
 
 func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse bool, campaignFile, riskFile string, listScenarios bool) error {

@@ -24,6 +24,7 @@ type Arena struct {
 	engines []*hpe.Engine       // index-aligned with car.AllNodes
 	guards  []*behaviour.Engine // same alignment; wrap engines for EnforceBehaviour
 	nodes   []*canbus.Node      // same alignment; stable across car resets
+	inj     injectPool          // recycled injection bursts, reset per run
 	seed    uint64
 }
 
@@ -35,6 +36,11 @@ func (h *Harness) NewArena() (*Arena, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Outside-attacker scenarios attach a rogue node per cell; recycling the
+	// shells keeps the thousands of per-cell attach/detach cycles of a fleet
+	// sweep allocation-free. Safe here: the arena drops every node reference
+	// between cells.
+	c.Bus().SetRecycleRogues(true)
 	engines := make([]*hpe.Engine, len(car.AllNodes))
 	guards := make([]*behaviour.Engine, len(car.AllNodes))
 	nodes := make([]*canbus.Node, len(car.AllNodes))
@@ -109,11 +115,20 @@ func (a *Arena) Run(sc Scenario, enf Enforcement) (Result, error) {
 			n.Controller().SetFilters()
 		}
 	}
-	return a.h.execute(a.car, sc, enf)
+	return a.h.execute(a.car, sc, enf, &a.inj)
 }
 
 // RunMatrix executes every scenario under every requested regime on the
 // pooled vehicle: Harness.RunMatrix without the per-cell reconstruction.
 func (a *Arena) RunMatrix(scenarios []Scenario, regimes ...Enforcement) (Matrix, error) {
 	return runMatrix(scenarios, regimes, a.Run)
+}
+
+// RunSummaries is the pooled counterpart of Harness.RunSummaries: the full
+// scenario×regime sweep reduced to per-regime aggregates, with neither the
+// per-cell reconstruction nor the raw-result collection. The fleet engine
+// runs every scenario group of a vehicle visit through this path, reusing
+// the same warm arena across campaign-family boundaries.
+func (a *Arena) RunSummaries(scenarios []Scenario, regimes ...Enforcement) ([]RegimeSummary, error) {
+	return runSummaries(scenarios, regimes, a.Run)
 }

@@ -269,7 +269,7 @@ func (h *Harness) Run(sc Scenario, enf Enforcement) (Result, error) {
 		}
 	}
 	stripFilters(c, enf)
-	return h.execute(c, sc, enf)
+	return h.execute(c, sc, enf, nil)
 }
 
 // Default behavioural rule parameters: any single node may transmit at most
@@ -302,9 +302,14 @@ func (r unlockInMotion) Decide(dir canbus.Direction, f canbus.Frame, _ time.Dura
 
 // newBehaviourGuard wraps one node's identifier engine in the default
 // behavioural rule set, clocked by the car's scheduler. The fresh path
-// builds guards per run; the Arena builds them once and resets them.
+// builds guards per run; the Arena builds them once and resets them. Both
+// paths drive the guard from exactly one goroutine (the harness, like the
+// simulation substrate it wraps, is single-owner), so the guard runs in
+// single-owner mode — its per-decision locking and rules snapshot were the
+// dominant allocation site of whole campaign sweeps.
 func newBehaviourGuard(c *car.Car, base canbus.InlineFilter) *behaviour.Engine {
 	g := behaviour.New(base, c.Scheduler().Now)
+	g.SetSingleOwner(true)
 	if err := g.AddRule(&behaviour.RateLimit{
 		Label:        "write-budget",
 		Direction:    canbus.Write,
@@ -336,9 +341,12 @@ func stripFilters(c *car.Car, enf Enforcement) {
 
 // execute runs the scenario body on a car whose enforcement regime is
 // already applied: setup, mode switch, attacker placement, injection,
-// measurement and the functional probe. Shared by the fresh-car path (Run)
-// and the pooled path (Arena.Run).
-func (h *Harness) execute(c *car.Car, sc Scenario, enf Enforcement) (Result, error) {
+// measurement and the functional probe. Shared by the fresh-car path (Run,
+// nil pool) and the pooled path (Arena.Run, the arena's burst pool).
+func (h *Harness) execute(c *car.Car, sc Scenario, enf Enforcement, pool *injectPool) (Result, error) {
+	if pool != nil {
+		pool.reset()
+	}
 	res := Result{
 		ThreatID:    sc.ThreatID,
 		Name:        sc.Name,
@@ -362,7 +370,7 @@ func (h *Harness) execute(c *car.Car, sc Scenario, enf Enforcement) (Result, err
 	}
 
 	before := c.Bus().Stats()
-	if err := scheduleInjections(c, &attackers, sc.Injections, sc.ParallelInjections, &res); err != nil {
+	if err := scheduleInjections(c, &attackers, sc.Injections, sc.ParallelInjections, &res, pool); err != nil {
 		return Result{}, fmt.Errorf("attack: %s: %w", sc.ThreatID, err)
 	}
 	c.Scheduler().Run()
@@ -377,7 +385,7 @@ func (h *Harness) execute(c *car.Car, sc Scenario, enf Enforcement) (Result, err
 			break
 		}
 		res.StagesRun++
-		if err := scheduleInjections(c, &attackers, st.Injections, sc.ParallelInjections, &res); err != nil {
+		if err := scheduleInjections(c, &attackers, st.Injections, sc.ParallelInjections, &res, pool); err != nil {
 			return Result{}, fmt.Errorf("attack: %s stage %q: %w", sc.ThreatID, st.Name, err)
 		}
 		c.Scheduler().Run()
@@ -471,11 +479,54 @@ func placeAttacker(c *car.Car, name string, placement Placement) (*canbus.Node, 
 	}
 }
 
+// burst is one reusable injection emitter: the transmitting node, the forged
+// frame with its payload inlined, and a fire event prebound at construction.
+// Pooled runs recycle bursts across cells, so scheduling an injection spec
+// allocates nothing after the first vehicle — the per-spec frame payload and
+// event closure used to be the largest allocation site left in a campaign
+// sweep's cell loop.
+type burst struct {
+	tx   *canbus.Node
+	f    canbus.Frame
+	data [canbus.MaxDataLen]byte
+	fire func(time.Duration)
+}
+
+// injectPool recycles bursts within one arena. Reset per scenario run; every
+// event scheduled against a burst fires before the run returns, so reuse in
+// the next cell can never alias a pending event.
+type injectPool struct {
+	bursts []*burst
+	used   int
+}
+
+// next returns a recycled burst, growing the pool on first use.
+func (p *injectPool) next() *burst {
+	if p.used < len(p.bursts) {
+		b := p.bursts[p.used]
+		p.used++
+		return b
+	}
+	b := &burst{}
+	b.fire = func(time.Duration) {
+		// The send is the event's only action, so it may run the
+		// arbitration round inline; blocked sends are measured, not errors.
+		_ = b.tx.SendFinal(b.f)
+	}
+	p.bursts = append(p.bursts, b)
+	p.used++
+	return b
+}
+
+// reset makes every burst available again.
+func (p *injectPool) reset() { p.used = 0 }
+
 // scheduleInjections queues one phase's injection specs on the virtual
 // clock. Sequential mode (the Table I default) chains specs one after
 // another; parallel mode starts every spec at the same instant, modelling
-// coordinated attacker streams.
-func scheduleInjections(c *car.Car, attackers *placedAttackers, injections []Injection, parallel bool, res *Result) error {
+// coordinated attacker streams. A nil pool (the fresh-car path) allocates
+// the frame and event per spec; a pooled run recycles them.
+func scheduleInjections(c *car.Car, attackers *placedAttackers, injections []Injection, parallel bool, res *Result, pool *injectPool) error {
 	base := c.Scheduler().Now()
 	at := base
 	for _, inj := range injections {
@@ -491,15 +542,34 @@ func scheduleInjections(c *car.Car, attackers *placedAttackers, injections []Inj
 		if gap <= 0 {
 			gap = stepTime
 		}
-		frame, err := canbus.NewDataFrame(inj.ID, inj.Data)
-		if err != nil {
-			return fmt.Errorf("bad injection: %w", err)
-		}
 		// One shared frame and one shared event per injection spec: Send
 		// clones into the transmit queue, so every scheduled repeat can
 		// reference the same values instead of allocating per repeat.
-		fire := func(time.Duration) {
-			_ = tx.Send(frame) // blocked sends are measured, not errors
+		var fire func(time.Duration)
+		if pool != nil {
+			b := pool.next()
+			// Validate against the spec's own payload first, then move it
+			// into the burst's inline buffer — same checks as NewDataFrame,
+			// no payload allocation.
+			b.f = canbus.Frame{ID: inj.ID, Data: inj.Data, DLC: uint8(len(inj.Data))}
+			if err := b.f.Validate(); err != nil {
+				return fmt.Errorf("bad injection: %w", err)
+			}
+			if len(inj.Data) == 0 {
+				b.f.Data = nil
+			} else {
+				b.f.Data = b.data[:copy(b.data[:], inj.Data)]
+			}
+			b.tx = tx
+			fire = b.fire
+		} else {
+			frame, err := canbus.NewDataFrame(inj.ID, inj.Data)
+			if err != nil {
+				return fmt.Errorf("bad injection: %w", err)
+			}
+			fire = func(time.Duration) {
+				_ = tx.SendFinal(frame)
+			}
 		}
 		start := at
 		if parallel {

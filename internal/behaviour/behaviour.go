@@ -125,6 +125,7 @@ type RateLimit struct {
 	Window time.Duration
 
 	mu     sync.Mutex
+	single bool
 	grants []time.Duration
 }
 
@@ -155,18 +156,27 @@ func (r *RateLimit) Validate() error {
 // constructed rule. Pooled harnesses call this between runs so a reused rule
 // behaves identically to a new one even though the virtual clock restarted.
 func (r *RateLimit) Reset() {
+	if r.single {
+		r.grants = r.grants[:0]
+		return
+	}
 	r.mu.Lock()
 	r.grants = r.grants[:0]
 	r.mu.Unlock()
 }
+
+// setSingleOwner puts the rule in single-owner mode (see Engine.SetSingleOwner).
+func (r *RateLimit) setSingleOwner(on bool) { r.single = on }
 
 // Decide implements Rule.
 func (r *RateLimit) Decide(dir canbus.Direction, f canbus.Frame, now time.Duration) canbus.Verdict {
 	if dir != r.Direction || !r.IDs.Contains(f.ID) {
 		return canbus.Grant
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if !r.single {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
 	// Evict grants that slid out of the window.
 	cutoff := now - r.Window
 	keep := r.grants[:0]
@@ -204,9 +214,15 @@ type Engine struct {
 	base  canbus.InlineFilter
 	clock Clock
 
-	mu    sync.Mutex
-	rules []Rule
-	stats Stats
+	mu     sync.Mutex
+	single bool
+	rules  []Rule
+	// ruleBlocked counts vetoes per rule, index-aligned with rules. Stats
+	// materialises it into Stats.RuleBlocked on demand: a flooded sweep cell
+	// vetoes thousands of frames, and a per-veto string-keyed map assign was
+	// hot enough to show in whole-campaign CPU profiles.
+	ruleBlocked []uint64
+	stats       Stats
 }
 
 var _ canbus.InlineFilter = (*Engine)(nil)
@@ -220,15 +236,34 @@ func New(base canbus.InlineFilter, clock Clock) *Engine {
 	if clock == nil {
 		clock = func() time.Duration { return 0 }
 	}
-	return &Engine{
-		base:  base,
-		clock: clock,
-		stats: Stats{RuleBlocked: map[string]uint64{}},
-	}
+	return &Engine{base: base, clock: clock}
 }
 
 // validator is implemented by rules that can check themselves.
 type validator interface{ Validate() error }
+
+// singleOwnable is implemented by rules that carry their own lock and can
+// shed it in single-owner mode (RateLimit's window mutex).
+type singleOwnable interface{ setSingleOwner(bool) }
+
+// SetSingleOwner switches the engine (and every installed rule that carries
+// its own lock) between thread-safe and single-owner operation. In
+// single-owner mode all locking and the per-decision defensive copy of the
+// rule list are skipped: every Decide otherwise allocates a rules snapshot,
+// which made this engine the dominant allocation site of whole campaign
+// sweeps. The caller asserts all use happens from one goroutine at a time —
+// the confinement the fleet engine's per-worker arenas already guarantee and
+// its -race suites observe.
+func (e *Engine) SetSingleOwner(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.single = on
+	for _, r := range e.rules {
+		if so, ok := r.(singleOwnable); ok {
+			so.setSingleOwner(on)
+		}
+	}
+}
 
 // AddRule appends a rule, validating it when possible.
 func (e *Engine) AddRule(r Rule) error {
@@ -244,17 +279,23 @@ func (e *Engine) AddRule(r Rule) error {
 			return fmt.Errorf("behaviour: duplicate rule %q", r.Name())
 		}
 	}
+	if so, ok := r.(singleOwnable); ok {
+		so.setSingleOwner(e.single)
+	}
 	e.rules = append(e.rules, r)
+	e.ruleBlocked = append(e.ruleBlocked, 0)
 	return nil
 }
 
-// RemoveRule drops the named rule; it reports whether one was removed.
+// RemoveRule drops the named rule; it reports whether one was removed. The
+// rule's veto count leaves the stats with it.
 func (e *Engine) RemoveRule(name string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i, r := range e.rules {
 		if r.Name() == name {
 			e.rules = append(e.rules[:i], e.rules[i+1:]...)
+			e.ruleBlocked = append(e.ruleBlocked[:i], e.ruleBlocked[i+1:]...)
 			return true
 		}
 	}
@@ -283,7 +324,8 @@ type resettable interface{ Reset() }
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.stats = Stats{RuleBlocked: map[string]uint64{}}
+	e.stats = Stats{}
+	clear(e.ruleBlocked)
 	for _, r := range e.rules {
 		if rs, ok := r.(resettable); ok {
 			rs.Reset()
@@ -291,14 +333,17 @@ func (e *Engine) Reset() {
 	}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. RuleBlocked carries an entry for
+// every rule that vetoed at least one frame.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cp := e.stats
-	cp.RuleBlocked = make(map[string]uint64, len(e.stats.RuleBlocked))
-	for k, v := range e.stats.RuleBlocked {
-		cp.RuleBlocked[k] = v
+	cp.RuleBlocked = make(map[string]uint64, len(e.rules))
+	for i, r := range e.rules {
+		if e.ruleBlocked[i] > 0 {
+			cp.RuleBlocked[r.Name()] = e.ruleBlocked[i]
+		}
 	}
 	return cp
 }
@@ -306,6 +351,9 @@ func (e *Engine) Stats() Stats {
 // Decide implements canbus.InlineFilter: identifier layer first, then each
 // behavioural rule in order; the first Block wins.
 func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
+	if e.single {
+		return e.decideSingle(dir, f)
+	}
 	e.mu.Lock()
 	e.stats.Decisions++
 	rules := append([]Rule(nil), e.rules...)
@@ -320,8 +368,18 @@ func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
 	now := e.clock()
 	for _, r := range rules {
 		if r.Decide(dir, f, now) != canbus.Grant {
+			// Re-resolve the rule's slot by name under the lock: the
+			// snapshot's index may be stale if AddRule/RemoveRule ran since
+			// (names are unique per engine). A veto by a rule removed
+			// mid-decision is dropped — it is no longer installed to own a
+			// counter.
 			e.mu.Lock()
-			e.stats.RuleBlocked[r.Name()]++
+			for i, cur := range e.rules {
+				if cur.Name() == r.Name() {
+					e.ruleBlocked[i]++
+					break
+				}
+			}
 			e.mu.Unlock()
 			return canbus.Block
 		}
@@ -329,5 +387,24 @@ func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
 	e.mu.Lock()
 	e.stats.Granted++
 	e.mu.Unlock()
+	return canbus.Grant
+}
+
+// decideSingle is the single-owner fast path: same decision sequence, no
+// locking, no rules snapshot.
+func (e *Engine) decideSingle(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
+	e.stats.Decisions++
+	if e.base.Decide(dir, f) != canbus.Grant {
+		e.stats.BaseBlocked++
+		return canbus.Block
+	}
+	now := e.clock()
+	for i, r := range e.rules {
+		if r.Decide(dir, f, now) != canbus.Grant {
+			e.ruleBlocked[i]++
+			return canbus.Block
+		}
+	}
+	e.stats.Granted++
 	return canbus.Grant
 }

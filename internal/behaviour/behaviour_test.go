@@ -326,3 +326,50 @@ func TestEngineResetRestoresFreshDecisions(t *testing.T) {
 		t.Errorf("Reset must keep installed rules, got %v", rules)
 	}
 }
+
+// TestSingleOwnerDecidesIdentically drives the same rate-limited decision
+// sequence through a locked engine and a single-owner one: verdicts and
+// counters must match exactly, and the single-owner fast path must not
+// allocate (it exists precisely because the locked path's per-decision rules
+// snapshot dominated campaign-sweep allocation profiles).
+func TestSingleOwnerDecidesIdentically(t *testing.T) {
+	build := func(single bool) (*Engine, *tickClock) {
+		clk := &tickClock{}
+		e := New(nil, clk.Clock())
+		if err := e.AddRule(&RateLimit{
+			Label:        "budget",
+			Direction:    canbus.Write,
+			IDs:          policy.SingleID(0x123),
+			MaxPerWindow: 2,
+			Window:       10 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		e.SetSingleOwner(single)
+		return e, clk
+	}
+	locked, lclk := build(false)
+	single, sclk := build(true)
+	f := frame(0x123)
+	for i := 0; i < 8; i++ {
+		now := time.Duration(i) * 3 * time.Millisecond
+		lclk.now, sclk.now = now, now
+		lv := locked.Decide(canbus.Write, f)
+		sv := single.Decide(canbus.Write, f)
+		if lv != sv {
+			t.Fatalf("decision %d: locked=%v single=%v", i, lv, sv)
+		}
+	}
+	ls, ss := locked.Stats(), single.Stats()
+	if ls.Decisions != ss.Decisions || ls.Granted != ss.Granted ||
+		ls.BaseBlocked != ss.BaseBlocked || ls.RuleBlocked["budget"] != ss.RuleBlocked["budget"] {
+		t.Errorf("stats diverged: locked=%+v single=%+v", ls, ss)
+	}
+
+	granted := frame(0x124) // outside the rule's ID set: pure grant path
+	if allocs := testing.AllocsPerRun(200, func() {
+		single.Decide(canbus.Write, granted)
+	}); allocs != 0 {
+		t.Errorf("single-owner grant path allocates %.1f objects/op, want 0", allocs)
+	}
+}

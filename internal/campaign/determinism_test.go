@@ -1,8 +1,13 @@
 package campaign
 
 import (
+	"reflect"
 	"runtime"
 	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/engine"
 )
 
 // determinismSpec is compact but covers every construct that could disturb
@@ -106,5 +111,46 @@ func TestSweepSeedsDecorrelate(t *testing.T) {
 	}
 	if a.String() == b.String() {
 		t.Error("changing the root seed did not change the report")
+	}
+}
+
+// TestSweepMatchesFamilyMajorReference re-derives every family's outcome the
+// way the retired family-major executor did — one engine run per family with
+// that family's derived fleet root, live phase on the first only — and
+// requires the vehicle-major Sweep to match it family for family. Family
+// roots are positional (VehicleSeed(root^famSeed, index)), so family-order
+// permutation invariance is asserted at the engine layer
+// (engine.TestGroupsPermutationInvariant); this test pins the campaign
+// layer's seed derivation and fold on top of it.
+func TestSweepMatchesFamilyMajorReference(t *testing.T) {
+	plan := determinismPlan(t)
+	const fleet, root = 5, uint64(4242)
+	rep, err := Sweep(plan, SweepConfig{Fleet: fleet, RootSeed: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := attack.NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi := range plan.Families {
+		fam := &plan.Families[fi]
+		fr, err := engine.Run(engine.Config{
+			Fleet:          fleet,
+			RootSeed:       engine.VehicleSeed(root^fam.Seed, fi),
+			Scenarios:      fam.Scenarios,
+			Regimes:        fam.Regimes,
+			TrafficHorizon: 10 * time.Millisecond,
+			Harness:        h,
+			SkipLive:       fi != 0,
+			SkipMAC:        true,
+		})
+		if err != nil {
+			t.Fatalf("family-major reference %q: %v", fam.Name, err)
+		}
+		if !reflect.DeepEqual(rep.Families[fi].Regimes, fr.Attacks) {
+			t.Errorf("family %q diverged from its family-major reference:\nsweep:     %+v\nreference: %+v",
+				fam.Name, rep.Families[fi].Regimes, fr.Attacks)
+		}
 	}
 }

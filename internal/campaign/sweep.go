@@ -22,8 +22,9 @@ type SweepConfig struct {
 	// FreshVehicles selects the engine's from-scratch reference path
 	// (pooled arenas otherwise); both render byte-identical reports.
 	FreshVehicles bool
-	// TrafficHorizon is the live background simulation's virtual span for
-	// the first family (default 10ms); later families skip the live phase.
+	// TrafficHorizon is the live background simulation's virtual span
+	// (default 10ms); the live phase runs once per vehicle visit, before the
+	// vehicle's family cells.
 	TrafficHorizon time.Duration
 	// ErrorRate enables bus error injection in the live phase.
 	ErrorRate float64
@@ -68,10 +69,16 @@ type CampaignReport struct {
 	Totals []attack.RegimeSummary
 }
 
-// Sweep executes the plan's families on the fleet engine — one engine run
-// per family, all sharing a single compiled harness and, within a run, the
-// engine's pooled per-worker arenas — and folds the merged outcomes into a
-// CampaignReport.
+// Sweep executes the plan on the fleet engine in one vehicle-major pass: the
+// families compile into engine scenario groups, every worker claims a
+// vehicle, runs the live background phase once and then sweeps *all*
+// families' scenario×regime cells on its warm arena before moving on. Sweep
+// itself is a thin planner and folder — it derives per-family fleet roots,
+// hands the engine the whole campaign, and folds the per-(family, vehicle)
+// aggregates back into a CampaignReport in deterministic family order. The
+// report is byte-identical to the retired family-major executor's (one
+// engine run per family with a barrier between), which survives as the
+// equivalence oracle in the engine's group tests.
 func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 	if cfg.Fleet <= 0 {
 		cfg.Fleet = 1
@@ -79,9 +86,39 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 	if cfg.TrafficHorizon <= 0 {
 		cfg.TrafficHorizon = 10 * time.Millisecond
 	}
+	if len(plan.Families) == 0 {
+		return nil, fmt.Errorf("campaign %q has no families", plan.Spec.Name)
+	}
 	h, err := attack.NewHarness()
 	if err != nil {
 		return nil, err
+	}
+	groups := make([]engine.ScenarioGroup, len(plan.Families))
+	for fi := range plan.Families {
+		fam := &plan.Families[fi]
+		// The family's fleet root blends the sweep root with the family
+		// sub-seed through the stack's shared SplitMix64 step, so vehicle i
+		// of family A never correlates with vehicle i of family B.
+		groups[fi] = engine.ScenarioGroup{
+			Name:      fam.Name,
+			Scenarios: fam.Scenarios,
+			Regimes:   fam.Regimes,
+			RootSeed:  engine.VehicleSeed(cfg.RootSeed^fam.Seed, fi),
+		}
+	}
+	fr, err := engine.Run(engine.Config{
+		Fleet:          cfg.Fleet,
+		Workers:        cfg.Workers,
+		RootSeed:       groups[0].RootSeed,
+		Groups:         groups,
+		TrafficHorizon: cfg.TrafficHorizon,
+		ErrorRate:      cfg.ErrorRate,
+		FreshVehicles:  cfg.FreshVehicles,
+		Harness:        h,
+		SkipMAC:        true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)
 	}
 	rep := &CampaignReport{
 		Campaign:            plan.Spec.Name,
@@ -91,40 +128,19 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 		Fleet:               cfg.Fleet,
 		ScenariosPerVehicle: plan.ScenariosPerVehicle(),
 		Cells:               plan.CellsPerVehicle() * cfg.Fleet,
+		FramesDelivered:     fr.FramesDelivered,
+		BusErrors:           fr.BusErrors,
+		MeanUtilisation:     fr.MeanUtilisation,
 	}
 	for fi := range plan.Families {
 		fam := &plan.Families[fi]
-		// The family's fleet root blends the sweep root with the family
-		// sub-seed through the stack's shared SplitMix64 step, so vehicle i
-		// of family A never correlates with vehicle i of family B.
-		fr, err := engine.Run(engine.Config{
-			Fleet:          cfg.Fleet,
-			Workers:        cfg.Workers,
-			RootSeed:       engine.VehicleSeed(cfg.RootSeed^fam.Seed, fi),
-			Scenarios:      fam.Scenarios,
-			Regimes:        fam.Regimes,
-			TrafficHorizon: cfg.TrafficHorizon,
-			ErrorRate:      cfg.ErrorRate,
-			FreshVehicles:  cfg.FreshVehicles,
-			Harness:        h,
-			SkipLive:       fi != 0,
-			SkipMAC:        true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("campaign %q family %q: %w", plan.Spec.Name, fam.Name, err)
-		}
-		if fi == 0 {
-			rep.FramesDelivered = fr.FramesDelivered
-			rep.BusErrors = fr.BusErrors
-			rep.MeanUtilisation = fr.MeanUtilisation
-		}
 		rep.Families = append(rep.Families, FamilyReport{
 			Name:      fam.Name,
 			Kind:      fam.Kind,
 			Scenarios: len(fam.Scenarios),
-			Regimes:   fr.Attacks,
+			Regimes:   fr.Groups[fi].Regimes,
 		})
-		for _, rs := range fr.Attacks {
+		for _, rs := range fr.Groups[fi].Regimes {
 			rep.fold(rs)
 		}
 	}

@@ -121,17 +121,39 @@ type Bus struct {
 	errRate float64
 	rng     *sim.RNG
 
-	nodes     []*Node
-	byName    map[string]*Node
-	busy      bool
-	kickArmed bool // an arbitration round is already scheduled for this instant
-	tracer    func(TraceEvent)
+	nodes      []*Node
+	byName     map[string]*Node
+	namesEvict bool // a snapped node left byName (Detach); Reset must re-admit
+	busy       bool
+	kickArmed  bool // an arbitration round is already scheduled for this instant
+	tracer     func(TraceEvent)
+
+	// rogues recycles post-snapshot node shells across resets when
+	// SetRecycleRogues is on: Reset stashes them here instead of discarding,
+	// and Attach revives a shell of the same name to fresh-node state while
+	// keeping its transmit-queue and mailbox capacity.
+	recycleRogues bool
+	rogues        map[string]*Node
+
+	// txPending lists the nodes with queued frames (unordered; arbitration
+	// ties resolve by Node.order). Arbitration rounds walk this list instead
+	// of scanning every station's queue state — with eight stations and
+	// usually one transmitter, the full scan per round was one of the
+	// hottest loops of a fleet sweep.
+	txPending []*Node
+	// orderSeq assigns Node.order at attach; Reset rewinds it past the
+	// pristine set so re-attached rogues replay identical orders.
+	orderSeq         int32
+	pristineOrderSeq int32
 
 	// wireCache memoises WireBits by frame content: periodic traffic and
 	// repeated injections re-transmit identical frames, and counting stuff
 	// bits is the single most expensive step of starting a transmission.
-	// The mapping is pure, so the cache survives Reset.
-	wireCache map[wireKey]int
+	// The mapping is pure, so the cache survives Reset — as does the
+	// single-entry front cache (lastWireBits==0 means empty).
+	wireCache    map[wireKey]int
+	lastWireKey  wireKey
+	lastWireBits int
 
 	// In-flight transmission, valid while busy. Storing it on the bus (one
 	// transmission can be in flight at a time) lets arbitrate reuse the two
@@ -144,10 +166,10 @@ type Bus struct {
 	txFailed bool
 
 	kickEvent     sim.Event // runs arbitrate
-	deferredKick  sim.Event // runs kick (one extra hop: see complete's error path)
+	deferredKick  sim.Event // runs kickNow at the error-recovery instant (complete's error path)
 	completeEvent sim.Event // runs complete
-	rxScratch     []*Node   // reusable receiver snapshot for delivery
-	pwScratch     []*Node   // reusable contender scratch for pickWinner
+	rxScratch     []*Node   // cached receiver snapshot; rebuilt when rxDirty
+	rxDirty       bool      // topology changed since rxScratch was built
 
 	// pristine is the node set captured by MarkPristine, in attachment
 	// order; Reset restores exactly this topology.
@@ -187,7 +209,7 @@ func New(sched *sim.Scheduler, cfg Config) *Bus {
 		b.kickArmed = false
 		b.arbitrate()
 	}
-	b.deferredKick = func(time.Duration) { b.kick() }
+	b.deferredKick = func(time.Duration) { b.kickNow() }
 	b.completeEvent = func(time.Duration) { b.complete() }
 	return b
 }
@@ -220,20 +242,47 @@ func (b *Bus) Stats() BusStats {
 	}
 }
 
+// SetRecycleRogues enables recycling of post-snapshot node shells across
+// Reset: instead of being discarded, a rogue node is parked detached and the
+// next Attach of the same name revives the same object in fresh-node state,
+// preserving its queue capacity. A revived shell aliases any stale reference
+// a caller kept from its previous life, so this is only for single-owner
+// harnesses that drop all node references between resets (the attack
+// arena); the default keeps the discard semantics.
+func (b *Bus) SetRecycleRogues(on bool) {
+	b.recycleRogues = on
+	if on && b.rogues == nil {
+		b.rogues = map[string]*Node{}
+	}
+}
+
 // Attach creates a node with the given name and joins it to the bus.
 // Names must be unique per bus.
 func (b *Bus) Attach(name string) (*Node, error) {
 	if _, dup := b.byName[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
+	if shell, ok := b.rogues[name]; ok && b.recycleRogues {
+		delete(b.rogues, name)
+		shell.revive()
+		shell.order = b.orderSeq
+		b.orderSeq++
+		b.nodes = append(b.nodes, shell)
+		b.byName[name] = shell
+		b.rxDirty = true
+		return shell, nil
+	}
 	n := &Node{
 		name:   name,
 		bus:    b,
 		ctrl:   NewController(),
 		inline: PermissiveFilter{},
+		order:  b.orderSeq,
 	}
+	b.orderSeq++
 	b.nodes = append(b.nodes, n)
 	b.byName[name] = n
+	b.rxDirty = true
 	return n, nil
 }
 
@@ -256,6 +305,9 @@ func (b *Bus) Detach(name string) bool {
 		return false
 	}
 	delete(b.byName, name)
+	if n.snapped {
+		b.namesEvict = true
+	}
 	for i, m := range b.nodes {
 		if m == n {
 			b.nodes = append(b.nodes[:i], b.nodes[i+1:]...)
@@ -264,7 +316,31 @@ func (b *Bus) Detach(name string) bool {
 	}
 	n.detached = true
 	n.txq = nil
+	b.dropPending(n)
+	b.rxDirty = true
 	return true
+}
+
+// notePending adds a node to the pending-transmitter list (idempotent).
+func (b *Bus) notePending(n *Node) {
+	if !n.txPending {
+		n.txPending = true
+		b.txPending = append(b.txPending, n)
+	}
+}
+
+// dropPending removes a node from the pending-transmitter list (idempotent).
+func (b *Bus) dropPending(n *Node) {
+	if !n.txPending {
+		return
+	}
+	n.txPending = false
+	for i, m := range b.txPending {
+		if m == n {
+			b.txPending = append(b.txPending[:i], b.txPending[i+1:]...)
+			return
+		}
+	}
 }
 
 // Node returns the attached node with the given name.
@@ -314,6 +390,27 @@ func (b *Bus) kick() {
 	b.sched.After(0, b.kickEvent)
 }
 
+// kickNow is kick for the bus's own completion machinery, called as the
+// *last* action of its event callback. The zero-delay hop exists so every
+// frame queued by other work at this same instant joins the arbitration
+// round (SOF sync). At the end of a bus-internal event, the only remaining
+// same-instant work is whatever sits in the queue: if the earliest queued
+// event lies strictly in the future, the hop is provably a no-op, and the
+// round runs inline — sparing the scheduler a push/pop per frame. Send-side
+// kicks can never take this shortcut: the caller's own callback may queue
+// more same-instant frames after Send returns.
+func (b *Bus) kickNow() {
+	if b.kickArmed {
+		return
+	}
+	if next, ok := b.sched.NextAt(); !ok || next > b.sched.Now() {
+		b.arbitrate()
+		return
+	}
+	b.kickArmed = true
+	b.sched.After(0, b.kickEvent)
+}
+
 // wireKey identifies a frame's exact wire encoding for the bit-count memo.
 type wireKey struct {
 	id    uint32
@@ -333,7 +430,14 @@ func (b *Bus) wireBitsOf(f Frame) (int, error) {
 		k.flags |= 2
 	}
 	copy(k.data[:], f.Data)
+	// Repeated transmissions of one frame arrive back to back (periodic
+	// traffic, injection trains), so a single-entry cache in front of the
+	// memo map skips the map hash on the common path.
+	if k == b.lastWireKey && b.lastWireBits > 0 {
+		return b.lastWireBits, nil
+	}
 	if n, ok := b.wireCache[k]; ok {
+		b.lastWireKey, b.lastWireBits = k, n
 		return n, nil
 	}
 	n, err := WireBits(f)
@@ -343,6 +447,7 @@ func (b *Bus) wireBitsOf(f Frame) (int, error) {
 	if len(b.wireCache) < 4096 { // bound the memo; beyond it, recompute
 		b.wireCache[k] = n
 	}
+	b.lastWireKey, b.lastWireBits = k, n
 	return n, nil
 }
 
@@ -352,27 +457,31 @@ func (b *Bus) arbitrate() {
 	if b.busy {
 		return
 	}
-	winner, frame, ok := b.pickWinner()
-	if !ok {
+	winner := b.pickWinner()
+	if winner == nil {
 		return
 	}
+	// Load the in-flight transmission straight from the winner's queue
+	// entry: header from the queued frame, payload copied into the bus's
+	// own buffer (the entry may shift before delivery).
+	head := &winner.txq[0]
 	b.busy = true
-	bits, err := b.wireBitsOf(frame)
+	b.txNode = winner
+	b.txFrame = head.f
+	if !head.f.RTR && head.dataLen > 0 {
+		n := copy(b.txBuf[:], head.buf[:head.dataLen])
+		b.txFrame.Data = b.txBuf[:n]
+	}
+	bits, err := b.wireBitsOf(b.txFrame)
 	if err != nil {
 		// Frames are validated in Send; an encode failure here is a bug.
 		panic(fmt.Errorf("canbus: unencodable queued frame: %w", err))
 	}
 	dur := time.Duration(bits) * b.bitTime
-	b.txNode = winner
-	b.txFrame = frame
-	if len(frame.Data) > 0 {
-		n := copy(b.txBuf[:], frame.Data)
-		b.txFrame.Data = b.txBuf[:n]
-	}
 	b.txFailed = b.errRate > 0 && b.rng.Bool(b.errRate)
 	b.stats.busyTime += dur
 	if b.tracer != nil {
-		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxStart, Node: winner.name, Frame: frame})
+		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxStart, Node: winner.name, Frame: b.txFrame})
 	}
 	b.sched.After(dur, b.completeEvent)
 }
@@ -381,37 +490,35 @@ func (b *Bus) arbitrate() {
 // and charges losers an arbitration loss. Ties on arbitration value are
 // broken by attachment order, which stands in for the bit-level resolution a
 // real bus performs.
-func (b *Bus) pickWinner() (*Node, Frame, bool) {
-	// Single pass over the stations: contenders are collected into a
-	// reusable scratch while the winner is tracked, so losers are charged
-	// without re-walking every node's queue state.
+func (b *Bus) pickWinner() *Node {
+	// The contenders are exactly the pending-transmitter list: membership is
+	// maintained at every queue transition (Send, popHead, bus-off, detach,
+	// reset), so no per-round scan of the full station set is needed. The
+	// list is unordered; ties on arbitration value resolve by attachment
+	// order via Node.order, reproducing the ordered-scan semantics.
+	// Uncontended fast path: most rounds have exactly one transmitter.
+	if len(b.txPending) == 1 {
+		return b.txPending[0]
+	}
 	var (
 		winner  *Node
-		best    Frame
 		bestVal uint64
 	)
-	contenders := b.pwScratch[:0]
-	for _, n := range b.nodes {
-		f, ok := n.pendingHead()
-		if !ok {
-			continue
-		}
-		contenders = append(contenders, n)
-		v := f.ArbitrationValue()
-		if winner == nil || v < bestVal {
-			winner, best, bestVal = n, f, v
+	for _, n := range b.txPending {
+		v := n.txq[0].f.ArbitrationValue()
+		if winner == nil || v < bestVal || (v == bestVal && n.order < winner.order) {
+			winner, bestVal = n, v
 		}
 	}
-	b.pwScratch = contenders
 	if winner == nil {
-		return nil, Frame{}, false
+		return nil
 	}
-	for _, n := range contenders {
+	for _, n := range b.txPending {
 		if n != winner {
 			n.noteArbitrationLoss()
 		}
 	}
-	return winner, best, true
+	return winner
 }
 
 // complete finishes the in-flight transmission: on error the transmitter's
@@ -430,7 +537,7 @@ func (b *Bus) complete() {
 		b.stats.abortedTx++
 		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceTxAborted, Node: tx.name, Frame: f})
 		b.busy = false
-		b.kick()
+		b.kickNow()
 		return
 	}
 
@@ -456,17 +563,22 @@ func (b *Bus) complete() {
 		b.emit(TraceEvent{At: b.sched.Now(), Kind: TraceDelivered, Node: tx.name, Frame: f})
 	}
 	b.busy = false
-	// Snapshot receivers into a reusable scratch slice before delivering: a
-	// reentrant handler may Attach/Detach and mutate b.nodes mid-loop. The
-	// snapshot pins the receiver set to transmission time (late joiners miss
-	// the frame); deliver itself skips nodes detached mid-loop.
-	b.rxScratch = append(b.rxScratch[:0], b.nodes...)
+	// Deliver over a snapshot of the receiver set: a reentrant handler may
+	// Attach/Detach and mutate b.nodes mid-loop. The snapshot pins the set
+	// to transmission time (late joiners miss the frame); deliver itself
+	// skips nodes detached mid-loop. The snapshot is cached and only rebuilt
+	// after a topology change — copying eight node pointers per frame (with
+	// their GC write barriers) showed up in fleet-sweep profiles.
+	if b.rxDirty {
+		b.rxScratch = append(b.rxScratch[:0], b.nodes...)
+		b.rxDirty = false
+	}
 	for _, n := range b.rxScratch {
 		if n != tx {
 			n.deliver(f)
 		}
 	}
-	b.kick()
+	b.kickNow()
 }
 
 // MarkPristine captures the current topology and per-node configuration as
@@ -478,6 +590,7 @@ func (b *Bus) MarkPristine() {
 	for _, n := range b.nodes {
 		n.snapshot()
 	}
+	b.pristineOrderSeq = b.orderSeq
 }
 
 // Reset restores the bus to its pristine snapshot without allocating: nodes
@@ -499,17 +612,37 @@ func (b *Bus) Reset(cfg Config) {
 	b.kickArmed = false
 	b.txNode, b.txFrame, b.txFailed = nil, Frame{}, false
 	b.tracer = nil
+	for _, n := range b.txPending {
+		n.txPending = false
+	}
+	b.txPending = b.txPending[:0]
+	b.orderSeq = b.pristineOrderSeq
 	for _, n := range b.nodes {
 		if !n.snapped {
 			n.detached = true
-			n.txq = nil
 			delete(b.byName, n.name)
+			if b.recycleRogues {
+				// Park the shell (queue capacity intact) for the next
+				// Attach of this name; revive restores fresh-node state.
+				b.rogues[n.name] = n
+			} else {
+				n.txq = nil
+			}
 		}
 	}
 	b.nodes = append(b.nodes[:0], b.pristine...)
+	b.rxDirty = true
 	for _, n := range b.pristine {
 		n.reset()
-		b.byName[n.name] = n // re-admit nodes Detach removed
+	}
+	if b.namesEvict {
+		// Re-admit pristine nodes Detach removed. Guarded: eight map assigns
+		// per reset is measurable when a sweep resets per scenario cell, and
+		// attach/detach of post-snapshot nodes never touches pristine names.
+		for _, n := range b.pristine {
+			b.byName[n.name] = n
+		}
+		b.namesEvict = false
 	}
 	b.stats = busCounters{}
 }

@@ -189,17 +189,6 @@ type queued struct {
 	dataLen uint8
 }
 
-// frame reconstitutes the queued frame. The returned frame's Data aliases
-// the queue entry's buffer: valid only until the queue shifts (popHead), so
-// callers that hold on to it must copy first (Bus.arbitrate does).
-func (q *queued) frame() Frame {
-	f := q.f
-	if !f.RTR {
-		f.Data = q.buf[:q.dataLen]
-	}
-	return f
-}
-
 // NodeStats counts per-node traffic and enforcement outcomes.
 type NodeStats struct {
 	// TxRequested counts frames handed to Send.
@@ -241,6 +230,13 @@ type Node struct {
 	stats      NodeStats
 	detached   bool
 	responders map[uint32]func() []byte
+
+	// order is the node's attachment sequence number; arbitration ties
+	// resolve toward the lower order (the attachment-order tie-break).
+	order int32
+	// txPending mirrors membership in the bus's pending-transmitter list;
+	// maintained at every transmit-queue transition.
+	txPending bool
 
 	// Pristine snapshot captured by Bus.MarkPristine; see Bus.Reset.
 	snapped        bool
@@ -296,6 +292,23 @@ func (n *Node) ResetErrors() {
 // transmit queue, exactly as in Fig. 4 where the decision block sits before
 // the transceiver.
 func (n *Node) Send(f Frame) error {
+	return n.send(f, false)
+}
+
+// SendFinal is Send for a caller that makes it the *last* action of its
+// scheduler event callback: when no other event can fire at this instant,
+// the arbitration round runs inline instead of through the zero-delay
+// SOF-sync hop, sparing the scheduler a push/pop per frame. The outcome is
+// identical to Send (the hop still happens whenever another same-instant
+// event is queued); callers that do anything else after sending — including
+// sending again — must use Send, or same-instant frames would miss the
+// shared round. The attack harness's injection bursts qualify; hand-driven
+// sends outside scheduler events do not.
+func (n *Node) SendFinal(f Frame) error {
+	return n.send(f, true)
+}
+
+func (n *Node) send(f Frame, final bool) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
@@ -320,17 +333,13 @@ func (n *Node) Send(f Frame) error {
 	q.f = f
 	q.f.Data = nil
 	q.dataLen = uint8(copy(q.buf[:], f.Data))
-	n.bus.kick()
-	return nil
-}
-
-// pendingHead returns the head of the transmit queue, if any, and whether
-// the node can currently contend for the bus.
-func (n *Node) pendingHead() (Frame, bool) {
-	if n.detached || len(n.txq) == 0 || n.counters.State() == BusOff {
-		return Frame{}, false
+	n.bus.notePending(n)
+	if final {
+		n.bus.kickNow()
+	} else {
+		n.bus.kick()
 	}
-	return n.txq[0].frame(), true
+	return nil
 }
 
 // SetRemoteResponder registers an automatic reply for remote transmission
@@ -395,6 +404,9 @@ func (n *Node) popHead() {
 		n.txq[len(n.txq)-1] = queued{}
 		n.txq = n.txq[:len(n.txq)-1]
 	}
+	if len(n.txq) == 0 {
+		n.bus.dropPending(n)
+	}
 	n.stats.TxCompleted++
 	n.counters.OnTxSuccess()
 }
@@ -405,6 +417,7 @@ func (n *Node) txError() ErrorState {
 	st := n.counters.OnTxError()
 	if st == BusOff {
 		n.txq = nil
+		n.bus.dropPending(n)
 	} else {
 		n.stats.Retransmissions++
 	}
@@ -430,6 +443,27 @@ func (n *Node) reset() {
 	n.stats = NodeStats{}
 	n.detached = false
 	clear(n.responders)
+}
+
+// revive restores a recycled rogue shell to the state Attach gives a brand
+// new node — default permissive inline filter, no filters or handler, empty
+// queue and zeroed counters — while keeping the queue and mailbox backing
+// arrays (see Bus.SetRecycleRogues).
+func (n *Node) revive() {
+	n.detached = false
+	n.txq = n.txq[:0]
+	n.stats = NodeStats{}
+	n.counters.Reset()
+	n.inline = PermissiveFilter{}
+	clear(n.responders)
+	c := n.ctrl
+	c.filters = nil
+	c.exact = nil
+	c.compromised = false
+	c.handler = nil
+	c.mailbox = c.mailbox[:0]
+	c.mailboxCap = 0
+	c.overruns = 0
 }
 
 // noteArbitrationLoss counts a lost arbitration round.

@@ -19,6 +19,16 @@
 // worth ~3.6x in fleet-sweep throughput. Config.FreshVehicles selects the
 // from-scratch reference path; both render byte-identical reports.
 //
+// # Vehicle-major scenario groups
+//
+// A run may carry multiple ScenarioGroups (a compiled campaign's families):
+// the sweep then visits each vehicle once — live background phase, then
+// every group's scenario×regime cells back to back on the same warm arena —
+// instead of one barriered pass per family. Each group carries its own
+// fleet root, so every (group, vehicle) block stays a pure function of its
+// seeds; cross-group isolation rests on the arena's reset-equals-fresh
+// contract (each cell resets the vehicle).
+//
 // # Determinism
 //
 // Every vehicle derives its seed from the root seed via a SplitMix64 step,
@@ -43,6 +53,25 @@ import (
 	"repro/internal/mac"
 )
 
+// ScenarioGroup is one independently seeded scenario×regime block of a
+// vehicle visit — a campaign family, in campaign terms. A multi-group run
+// sweeps every group against each vehicle in one pass: the worker claims the
+// vehicle, runs the live background phase once, then executes group after
+// group on the same warm arena. Per-group summaries are kept separate so the
+// caller can fold them however its report requires.
+type ScenarioGroup struct {
+	// Name labels the group in the merged report (informational).
+	Name string
+	// Scenarios is the group's attack matrix (required).
+	Scenarios []attack.Scenario
+	// Regimes is the group's enforcement sweep (required).
+	Regimes []attack.Enforcement
+	// RootSeed feeds the group's per-vehicle seed derivation: vehicle i runs
+	// this group with VehicleSeed(RootSeed, i), so groups decorrelate while
+	// each remains a pure function of (group root, vehicle index).
+	RootSeed uint64
+}
+
 // Config parameterises a fleet run.
 type Config struct {
 	// Fleet is the number of vehicles simulated (default 1).
@@ -57,6 +86,13 @@ type Config struct {
 	// Regimes are the enforcement configurations swept per vehicle
 	// (default none + hpe, the paper's baseline-vs-defence comparison).
 	Regimes []attack.Enforcement
+	// Groups optionally supplies multiple scenario groups swept per vehicle
+	// visit (the vehicle-major campaign executor). When set, Scenarios,
+	// Regimes and RootSeed are ignored for the attack sweeps — each group
+	// carries its own — and the live background phase derives its seed from
+	// the first group's root. When empty, the run is the single-group legacy
+	// shape built from Scenarios/Regimes/RootSeed.
+	Groups []ScenarioGroup
 	// TrafficPeriod is the legitimate-traffic period of the live background
 	// simulation (default 1ms).
 	TrafficPeriod time.Duration
@@ -87,7 +123,7 @@ type Config struct {
 	SkipMAC bool
 }
 
-func (c *Config) applyDefaults() {
+func (c *Config) applyDefaults() error {
 	if c.Fleet <= 0 {
 		c.Fleet = 1
 	}
@@ -97,11 +133,25 @@ func (c *Config) applyDefaults() {
 	if c.Workers > c.Fleet {
 		c.Workers = c.Fleet
 	}
-	if len(c.Scenarios) == 0 {
-		c.Scenarios = attack.Scenarios()
+	if len(c.Groups) == 0 {
+		// Legacy single-group shape: the defaulted Scenarios/Regimes swept
+		// under the run's root seed. With explicit Groups these fields are
+		// ignored, so their defaults are not even built.
+		if len(c.Scenarios) == 0 {
+			c.Scenarios = attack.Scenarios()
+		}
+		if len(c.Regimes) == 0 {
+			c.Regimes = []attack.Enforcement{attack.EnforceNone, attack.EnforceHPE}
+		}
+		c.Groups = []ScenarioGroup{{Scenarios: c.Scenarios, Regimes: c.Regimes, RootSeed: c.RootSeed}}
 	}
-	if len(c.Regimes) == 0 {
-		c.Regimes = []attack.Enforcement{attack.EnforceNone, attack.EnforceHPE}
+	for i := range c.Groups {
+		if len(c.Groups[i].Scenarios) == 0 {
+			return fmt.Errorf("engine: group %d (%q) has no scenarios", i, c.Groups[i].Name)
+		}
+		if len(c.Groups[i].Regimes) == 0 {
+			return fmt.Errorf("engine: group %d (%q) has no regimes", i, c.Groups[i].Name)
+		}
 	}
 	if c.TrafficPeriod <= 0 {
 		c.TrafficPeriod = time.Millisecond
@@ -112,6 +162,7 @@ func (c *Config) applyDefaults() {
 	if c.Speed == 0 {
 		c.Speed = 88
 	}
+	return nil
 }
 
 // VehicleSeed derives the deterministic seed of vehicle index from the root
@@ -161,9 +212,15 @@ func buildProbes(sh *shared) {
 }
 
 // Run executes the fleet sweep and merges per-vehicle outcomes in vehicle
-// order.
+// order. With Config.Groups set, the sweep is vehicle-major: each claimed
+// vehicle runs its live background phase once and then every group's
+// scenario×regime cells back to back on the same warm arena — one pass over
+// the fleet, no per-group barrier, no per-group worker-pool or arena
+// rebuild.
 func Run(cfg Config) (*FleetReport, error) {
-	cfg.applyDefaults()
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
 	h := cfg.Harness
 	if h == nil {
 		var err error
@@ -264,9 +321,12 @@ func newArena(sh *shared) (*arena, error) {
 }
 
 // runVehicle is the pooled counterpart of the package-level runVehicle:
-// identical phases, identical outcomes, zero reconstruction.
+// identical phases, identical outcomes, zero reconstruction. One call is one
+// vehicle *visit*: the live phase once, then every scenario group back to
+// back on the same warm arena — cross-group isolation rests on the arena's
+// reset-equals-fresh contract, which resets the vehicle per cell.
 func (a *arena) runVehicle(sh *shared, index int) (VehicleReport, error) {
-	seed := VehicleSeed(sh.cfg.RootSeed, index)
+	seed := VehicleSeed(sh.cfg.Groups[0].RootSeed, index)
 	rep := VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
 
 	// Live background simulation on the reset vehicle with re-provisioned
@@ -287,21 +347,29 @@ func (a *arena) runVehicle(sh *shared, index int) (VehicleReport, error) {
 		macProbe(&rep, a.srv, sh)
 	}
 
-	// Per-vehicle attack matrix on the pooled vehicle.
-	a.att.SetSeed(seed)
-	matrix, err := a.att.RunMatrix(sh.cfg.Scenarios, sh.cfg.Regimes...)
-	if err != nil {
-		return rep, err
+	// Every group's scenario×regime block on the pooled vehicle, reseeded
+	// per group so each block is a pure function of (group root, index).
+	rep.Groups = make([][]attack.RegimeSummary, len(sh.cfg.Groups))
+	for gi := range sh.cfg.Groups {
+		g := &sh.cfg.Groups[gi]
+		a.att.SetSeed(VehicleSeed(g.RootSeed, index))
+		sums, err := a.att.RunSummaries(g.Scenarios, g.Regimes...)
+		if err != nil {
+			return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, err)
+		}
+		rep.Groups[gi] = sums
 	}
-	rep.Attacks = matrix.Regimes
+	rep.Attacks = foldGroups(rep.Groups)
 	return rep, nil
 }
 
 // runVehicle simulates one vehicle end to end from scratch: the live
 // background simulation with a provisioned HPE stack, the MAC
-// least-privilege probe, and the per-vehicle attack matrix sweep.
+// least-privilege probe, and every scenario group's attack sweep (each cell
+// on a freshly constructed car — the reference path pooled runs are
+// compared against).
 func runVehicle(sh *shared, index int) (VehicleReport, error) {
-	seed := VehicleSeed(sh.cfg.RootSeed, index)
+	seed := VehicleSeed(sh.cfg.Groups[0].RootSeed, index)
 	rep := VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
 
 	// Live background simulation: this vehicle's own scheduler, bus, car and
@@ -329,14 +397,48 @@ func runVehicle(sh *shared, index int) (VehicleReport, error) {
 		macProbe(&rep, srv, sh)
 	}
 
-	// Per-vehicle attack matrix: the full scenario x regime sweep, seeded
-	// with this vehicle's seed.
-	matrix, err := sh.harness.WithSeed(seed).RunMatrix(sh.cfg.Scenarios, sh.cfg.Regimes...)
-	if err != nil {
-		return rep, err
+	// Every group's scenario×regime sweep, seeded per group with this
+	// vehicle's group-derived seed.
+	rep.Groups = make([][]attack.RegimeSummary, len(sh.cfg.Groups))
+	for gi := range sh.cfg.Groups {
+		g := &sh.cfg.Groups[gi]
+		sums, err := sh.harness.WithSeed(VehicleSeed(g.RootSeed, index)).RunSummaries(g.Scenarios, g.Regimes...)
+		if err != nil {
+			return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, err)
+		}
+		rep.Groups[gi] = sums
 	}
-	rep.Attacks = matrix.Regimes
+	rep.Attacks = foldGroups(rep.Groups)
 	return rep, nil
+}
+
+// foldGroups flattens per-group regime summaries into one aggregate per
+// regime, keyed by first appearance across groups. A single-group run folds
+// to exactly its group's summaries, preserving the legacy report shape. The
+// result is always freshly allocated — the legacy Attacks view must never
+// alias a group's own slice, or a caller folding into one would corrupt
+// the other.
+func foldGroups(groups [][]attack.RegimeSummary) []attack.RegimeSummary {
+	if len(groups) == 1 {
+		return append([]attack.RegimeSummary(nil), groups[0]...)
+	}
+	var out []attack.RegimeSummary
+	for _, g := range groups {
+		for _, rs := range g {
+			merged := false
+			for i := range out {
+				if out[i].Regime == rs.Regime {
+					out[i].Summary.Merge(rs.Summary)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out = append(out, rs)
+			}
+		}
+	}
+	return out
 }
 
 // collectLive folds the live background simulation's bus and scheduler
@@ -368,17 +470,24 @@ func macProbe(rep *VehicleReport, srv *mac.Server, sh *shared) {
 	}
 }
 
-// merge folds per-vehicle reports (in index order) into the fleet report.
+// merge folds per-vehicle reports (in index order) into the fleet report:
+// per-group regime aggregates first, then the flattened per-regime view.
 func merge(cfg Config, vehicles []VehicleReport) *FleetReport {
 	fr := &FleetReport{
 		Fleet:    cfg.Fleet,
 		Workers:  cfg.Workers,
 		RootSeed: cfg.RootSeed,
 		Vehicles: vehicles,
-		Attacks:  make([]attack.RegimeSummary, len(cfg.Regimes)),
+		Groups:   make([]GroupReport, len(cfg.Groups)),
 	}
-	for i, enf := range cfg.Regimes {
-		fr.Attacks[i].Regime = enf
+	for gi := range cfg.Groups {
+		g := &cfg.Groups[gi]
+		fr.Groups[gi].Name = g.Name
+		fr.Groups[gi].RootSeed = g.RootSeed
+		fr.Groups[gi].Regimes = make([]attack.RegimeSummary, len(g.Regimes))
+		for ri, enf := range g.Regimes {
+			fr.Groups[gi].Regimes[ri].Regime = enf
+		}
 	}
 	var utilSum float64
 	for _, v := range vehicles {
@@ -390,10 +499,17 @@ func merge(cfg Config, vehicles []VehicleReport) *FleetReport {
 		fr.MACChecks += v.MACChecks
 		fr.MACAllowed += v.MACAllowed
 		utilSum += v.Utilisation
-		for i := range v.Attacks {
-			fr.Attacks[i].Summary.Merge(v.Attacks[i].Summary)
+		for gi := range v.Groups {
+			for ri := range v.Groups[gi] {
+				fr.Groups[gi].Regimes[ri].Summary.Merge(v.Groups[gi][ri].Summary)
+			}
 		}
 	}
+	groupRegimes := make([][]attack.RegimeSummary, len(fr.Groups))
+	for gi := range fr.Groups {
+		groupRegimes[gi] = fr.Groups[gi].Regimes
+	}
+	fr.Attacks = foldGroups(groupRegimes)
 	if len(vehicles) > 0 {
 		fr.MeanUtilisation = utilSum / float64(len(vehicles))
 	}

@@ -13,10 +13,16 @@ type VehicleReport struct {
 	Index int
 	// VIN is the deterministic vehicle identifier.
 	VIN string
-	// Seed is the vehicle's derived simulation seed.
+	// Seed is the vehicle's derived simulation seed (the first group's, when
+	// the run sweeps multiple scenario groups).
 	Seed uint64
-	// Attacks holds one aggregate per enforcement regime, in sweep order.
+	// Attacks holds one aggregate per enforcement regime, keyed by first
+	// appearance across the vehicle's scenario groups. For the legacy
+	// single-group run this is exactly the group's sweep-order aggregates.
 	Attacks []attack.RegimeSummary
+	// Groups holds one regime-summary block per scenario group, in group
+	// order — the per-vehicle slice the campaign executor folds from.
+	Groups [][]attack.RegimeSummary
 	// FramesDelivered, BusErrors, WriteBlocked, ReadBlocked and AbortedTx
 	// are the background simulation's bus counters.
 	FramesDelivered uint64
@@ -33,6 +39,17 @@ type VehicleReport struct {
 	MACAllowed int
 }
 
+// GroupReport is one scenario group's fleet-merged outcome: per-regime
+// aggregates folded across every vehicle, in vehicle-index order.
+type GroupReport struct {
+	// Name and RootSeed echo the group.
+	Name     string
+	RootSeed uint64
+	// Regimes holds one fleet-merged aggregate per regime, in the group's
+	// sweep order.
+	Regimes []attack.RegimeSummary
+}
+
 // FleetReport is the fleet-wide merge, in vehicle-index order.
 type FleetReport struct {
 	// Fleet and Workers echo the run configuration.
@@ -42,7 +59,11 @@ type FleetReport struct {
 	RootSeed uint64
 	// Vehicles holds every per-vehicle report, ordered by index.
 	Vehicles []VehicleReport
-	// Attacks holds fleet-merged attack aggregates, one per regime.
+	// Groups holds one fleet-merged block per scenario group, in group
+	// order (a single block for legacy single-group runs).
+	Groups []GroupReport
+	// Attacks holds fleet-merged attack aggregates, one per regime keyed by
+	// first appearance across groups.
 	Attacks []attack.RegimeSummary
 	// Fleet-wide bus totals from the background simulations.
 	FramesDelivered uint64

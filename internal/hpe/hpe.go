@@ -100,7 +100,10 @@ type Engine struct {
 	subject string
 	modes   ModeSource
 	cycles  CycleModel
-	single  bool // single-owner mode: skip the stats mutex
+	// perDecision caches cycles.PerDecision(): the sum sits on the
+	// per-frame decision path of every node.
+	perDecision uint64
+	single      bool // single-owner mode: skip the stats mutex
 
 	table  atomic.Pointer[policy.NodeTable]
 	source *policy.Compiled // the compiled policy the table came from
@@ -126,7 +129,7 @@ func New(subject string, modes ModeSource, cycles CycleModel) *Engine {
 	if modes == nil {
 		panic("hpe: nil ModeSource")
 	}
-	return &Engine{subject: subject, modes: modes, cycles: cycles}
+	return &Engine{subject: subject, modes: modes, cycles: cycles, perDecision: cycles.PerDecision()}
 }
 
 // Subject returns the node name this engine protects.
@@ -246,7 +249,7 @@ func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
 		e.mu.Lock()
 	}
 	e.stats.Decisions++
-	e.stats.Cycles += e.cycles.PerDecision()
+	e.stats.Cycles += e.perDecision
 	switch {
 	case dir == canbus.Read && verdict == canbus.Grant:
 		e.stats.ReadsGranted++

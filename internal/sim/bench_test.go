@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSchedulerChurn measures the scheduler's hot loop — schedule,
+// sift, pop, fire, recycle — at a queue depth comparable to a busy bus
+// simulation. The heap stores pointer-free entries and slots recycle through
+// the free list, so a warm scheduler must not allocate at all; b.ReportAllocs
+// plus TestSchedulerSteadyStateZeroAllocs keep that at exactly zero.
+func BenchmarkSchedulerChurn(b *testing.B) {
+	var s Scheduler
+	fn := func(time.Duration) {}
+	// Warm the arena and free list past the benchmark's working set.
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	s.Run()
+	s.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			s.After(time.Duration(j%7)*time.Microsecond, fn)
+		}
+		s.Run()
+		s.Reset()
+	}
+}
+
+// BenchmarkSchedulerCancelHeavy measures the lazy-discard path: half the
+// scheduled events are cancelled before the queue drains.
+func BenchmarkSchedulerCancelHeavy(b *testing.B) {
+	var s Scheduler
+	fn := func(time.Duration) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var hs [16]Handle
+		for j := range hs {
+			hs[j] = s.After(time.Duration(j)*time.Microsecond, fn)
+		}
+		for j := 0; j < len(hs); j += 2 {
+			hs[j].Cancel()
+		}
+		s.Run()
+		s.Reset()
+	}
+}
+
+// TestSchedulerSteadyStateZeroAllocs pins the scheduler benchmarks'
+// allocation discipline as a hard assertion: a warm scheduler's
+// schedule→run→reset cycle performs zero allocations per op.
+func TestSchedulerSteadyStateZeroAllocs(t *testing.T) {
+	var s Scheduler
+	fn := func(time.Duration) {}
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	s.Run()
+	s.Reset()
+	allocs := testing.AllocsPerRun(200, func() {
+		for j := 0; j < 32; j++ {
+			s.After(time.Duration(j%5)*time.Microsecond, fn)
+		}
+		s.Run()
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state scheduler cycle allocates %.1f objects/op, want exactly 0", allocs)
+	}
+}

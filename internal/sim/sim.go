@@ -6,13 +6,12 @@
 // scheduled, which keeps simulations fully deterministic: two runs with the
 // same seed and the same schedule produce identical traces.
 //
-// Schedulers are built for reuse: heap items recycle through a free list,
+// Schedulers are built for reuse: event slots recycle through a free list,
 // and Reset restores a dirty scheduler to its zero state without releasing
 // memory, so long-lived simulation workers schedule without allocating.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -21,70 +20,61 @@ import (
 // Event is a callback scheduled to run at a virtual instant.
 type Event func(now time.Duration)
 
-// item is a scheduled event inside the heap. Items are recycled through the
-// scheduler's free list once they fire or are discarded, so the hot path of a
-// long simulation schedules without allocating; gen disambiguates a recycled
-// item from the event a stale Handle still points at.
-type item struct {
-	at   time.Duration
-	seq  uint64 // tie-breaker: schedule order
+// slot holds a scheduled event's callback and liveness state. Slots live in
+// the scheduler's arena and are recycled through its free list once they fire
+// or are discarded, so the hot path of a long simulation schedules without
+// allocating; gen disambiguates a recycled slot from the event a stale Handle
+// still points at.
+type slot struct {
 	fn   Event
 	dead bool   // cancelled
-	idx  int    // heap index, maintained by eventHeap
 	gen  uint64 // incremented on recycle; Handles from prior lives no-op
+}
+
+// entry is one heap element: the ordering key plus the index of its slot.
+// Entries carry no pointers, so sifting them up and down the heap moves plain
+// words — no interface boxing, no method-table dispatch, and no GC write
+// barriers on the simulation's single hottest path.
+type entry struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker: schedule order
+	slot int32
+}
+
+// before reports heap ordering: earliest timestamp first, schedule order
+// breaking ties.
+func (e entry) before(o entry) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
 type Handle struct {
-	it  *item
-	gen uint64
+	s    *Scheduler
+	slot int32
+	gen  uint64
 }
 
 // Cancel marks the event so it will not fire. Cancelling an already-fired or
 // already-cancelled event is a no-op, even if the scheduler has since
 // recycled the underlying slot for a different event.
 func (h Handle) Cancel() {
-	if h.it != nil && h.it.gen == h.gen {
-		h.it.dead = true
+	if h.s != nil && h.s.slots[h.slot].gen == h.gen {
+		h.s.slots[h.slot].dead = true
 	}
-}
-
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.idx = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
 }
 
 // Scheduler is a discrete-event scheduler with a virtual clock.
 // The zero value is ready to use.
 type Scheduler struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	steps  uint64
-	free   []*item // recycled heap items
+	now   time.Duration
+	seq   uint64
+	heap  []entry
+	slots []slot  // arena indexed by entry.slot / Handle.slot
+	free  []int32 // recycled slot indices
+	steps uint64
 }
 
 // ErrPast is returned when an event is scheduled before the current virtual time.
@@ -95,29 +85,108 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 
 // Pending returns the number of events still queued (including cancelled
 // events that have not yet been discarded).
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// NextAt returns the timestamp of the earliest queued event (cancelled
+// events included) and whether the queue is non-empty. Callers use it to
+// prove no further event can fire at the current instant — the bus's
+// arbitration kick elides its zero-delay hop on that proof.
+func (s *Scheduler) NextAt() (time.Duration, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
 
 // Steps returns the number of events executed so far.
 func (s *Scheduler) Steps() uint64 { return s.steps }
 
-// alloc takes an item from the free list, or heap-allocates when empty.
-func (s *Scheduler) alloc() *item {
+// alloc takes a slot index from the free list, or grows the arena when empty.
+func (s *Scheduler) alloc() int32 {
 	if n := len(s.free); n > 0 {
-		it := s.free[n-1]
-		s.free[n-1] = nil
+		idx := s.free[n-1]
 		s.free = s.free[:n-1]
-		return it
+		return idx
 	}
-	return &item{}
+	s.slots = append(s.slots, slot{})
+	return int32(len(s.slots) - 1)
 }
 
-// recycle returns a popped item to the free list, invalidating outstanding
+// recycle returns a popped slot to the free list, invalidating outstanding
 // Handles to its previous life.
-func (s *Scheduler) recycle(it *item) {
-	it.fn = nil
-	it.dead = false
-	it.gen++
-	s.free = append(s.free, it)
+func (s *Scheduler) recycle(idx int32) {
+	sl := &s.slots[idx]
+	sl.fn = nil
+	sl.dead = false
+	sl.gen++
+	s.free = append(s.free, idx)
+}
+
+// The queue is a 4-ary heap: half the depth of a binary heap, so pops touch
+// fewer cache lines, and the four children of a node sit in adjacent entries
+// of one or two cache lines. Event queues here are shallow (tens of events),
+// making depth the dominant cost.
+const heapArity = 4
+
+// siftUp restores the heap property after appending at index i, walking the
+// hole toward the root. Direct sifts on the concrete entry slice replace the
+// container/heap detour this package originally took: no any-boxing on
+// Push/Pop, no interface dispatch per comparison.
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// siftDown restores the heap property from index i toward the leaves.
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		child := first
+		for c := first + 1; c < last; c++ {
+			if h[c].before(h[child]) {
+				child = c
+			}
+		}
+		if !h[child].before(e) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = e
+}
+
+// pop removes and returns the earliest entry. The caller guarantees the heap
+// is non-empty.
+func (s *Scheduler) pop() entry {
+	h := s.heap
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return e
 }
 
 // At schedules fn to run at absolute virtual time at.
@@ -126,11 +195,12 @@ func (s *Scheduler) At(at time.Duration, fn Event) Handle {
 	if at < s.now {
 		panic(fmt.Errorf("%w: at=%v now=%v", ErrPast, at, s.now))
 	}
-	it := s.alloc()
-	it.at, it.seq, it.fn = at, s.seq, fn
+	idx := s.alloc()
+	s.slots[idx].fn = fn
+	s.heap = append(s.heap, entry{at: at, seq: s.seq, slot: idx})
 	s.seq++
-	heap.Push(&s.events, it)
-	return Handle{it: it, gen: it.gen}
+	s.siftUp(len(s.heap) - 1)
+	return Handle{s: s, slot: idx, gen: s.slots[idx].gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -144,16 +214,17 @@ func (s *Scheduler) After(d time.Duration, fn Event) Handle {
 // Step executes the single next event, advancing the clock to its timestamp.
 // It returns false when no runnable events remain.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 {
-		it := heap.Pop(&s.events).(*item)
-		if it.dead {
-			s.recycle(it)
+	for len(s.heap) > 0 {
+		e := s.pop()
+		sl := &s.slots[e.slot]
+		if sl.dead {
+			s.recycle(e.slot)
 			continue
 		}
-		s.now = it.at
+		s.now = e.at
 		s.steps++
-		fn := it.fn
-		s.recycle(it)
+		fn := sl.fn
+		s.recycle(e.slot)
 		fn(s.now)
 		return true
 	}
@@ -169,11 +240,11 @@ func (s *Scheduler) Run() {
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline. Events scheduled beyond the deadline remain queued.
 func (s *Scheduler) RunUntil(deadline time.Duration) {
-	for len(s.events) > 0 {
+	for len(s.heap) > 0 {
 		// Peek without popping.
-		next := s.events[0]
-		if next.dead {
-			s.recycle(heap.Pop(&s.events).(*item))
+		next := s.heap[0]
+		if s.slots[next.slot].dead {
+			s.recycle(s.pop().slot)
 			continue
 		}
 		if next.at > deadline {
@@ -197,14 +268,14 @@ func (s *Scheduler) RunSteps(n int) int {
 
 // Reset restores the scheduler to its pristine zero state — virtual time 0,
 // empty queue, zeroed step and sequence counters — without releasing memory:
-// every queued item is recycled into the free list, so a reset scheduler
+// every queued slot is recycled into the free list, so a reset scheduler
 // schedules without allocating. Handles issued before the reset are
 // invalidated (their Cancel becomes a no-op), exactly as if their events had
 // already fired.
 func (s *Scheduler) Reset() {
-	for _, it := range s.events {
-		s.recycle(it)
+	for _, e := range s.heap {
+		s.recycle(e.slot)
 	}
-	s.events = s.events[:0]
+	s.heap = s.heap[:0]
 	s.now, s.seq, s.steps = 0, 0, 0
 }
