@@ -1,17 +1,21 @@
 // Command benchgate compares `go test -bench` output against a checked-in
 // benchmark snapshot (BENCH_<n>.json) and fails when any benchmark regresses
 // by more than the allowed factor in ns/op — or, when the input carries
-// -benchmem columns and the snapshot records allocs_per_op, in allocs/op.
-// It is the CI smoke gate for the fleet engine's throughput and the pooled
-// substrate's allocation discipline: a gross slowdown (>2x by default) or an
-// allocation explosion fails the build, while ordinary machine-to-machine
-// noise passes (allocation counts are near-deterministic, so the allocs gate
-// is effectively exact).
+// -benchmem columns and the snapshot records allocs_per_op, in allocs/op —
+// or, when the snapshot records custom per-second metrics (vehicles/s,
+// cells/s from b.ReportMetric), when a measured rate drops below snapshot /
+// factor. Rates invert the gate because higher is better there; metrics
+// whose unit is not per-second (scenarios/vehicle) are informational and
+// never gated. It is the CI smoke gate for the fleet engine's throughput and
+// the pooled substrate's allocation discipline: a gross slowdown (>2x by
+// default), an allocation explosion or a collapsed sweep rate fails the
+// build, while ordinary machine-to-machine noise passes (allocation counts
+// are near-deterministic, so the allocs gate is effectively exact).
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'FleetSweep|Fig2|CampaignSweep|RiskCalibrate' -benchmem -benchtime 20x . \
-//	  | benchgate -snapshot BENCH_4.json
+//	  | benchgate -snapshot BENCH_5.json
 //
 // The tool reads benchmark output on stdin. Sub-benchmark names are matched
 // after stripping the trailing -<GOMAXPROCS> suffix; benchmarks missing from
@@ -28,7 +32,9 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
+	"strings"
 )
 
 // snapshot mirrors the BENCH_<n>.json schema.
@@ -40,6 +46,10 @@ type snapshot struct {
 type benchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric columns keyed by unit
+	// (e.g. "vehicles/s", "cells/s"). Per-second units are rate-gated:
+	// higher is better, so the gate fires when measured < snapshot/factor.
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // benchLine matches e.g. "BenchmarkFleetSweep/fleet=1000-8  7  148317995 ns/op ...".
@@ -47,6 +57,21 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) 
 
 // allocsField matches the -benchmem allocation column anywhere in the line.
 var allocsField = regexp.MustCompile(`\s([0-9]+) allocs/op`)
+
+// metricValue extracts the value of one custom b.ReportMetric column
+// ("<value> <unit>") from a benchmark output line.
+func metricValue(line, unit string) (float64, bool) {
+	re := regexp.MustCompile(`\s([0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?) ` + regexp.QuoteMeta(unit) + `(?:\s|$)`)
+	m := re.FindStringSubmatch(line)
+	if m == nil {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
 
 // deltaRow is one matched benchmark's old-vs-new comparison for the summary
 // table.
@@ -86,7 +111,7 @@ func printDeltaSummary(snapPath string, rows []deltaRow) {
 }
 
 func main() {
-	snapPath := flag.String("snapshot", "BENCH_4.json", "benchmark snapshot to compare against")
+	snapPath := flag.String("snapshot", "BENCH_5.json", "benchmark snapshot to compare against")
 	factor := flag.Float64("factor", 2.0, "fail when measured ns/op exceeds snapshot by this factor")
 	allocFactor := flag.Float64("alloc-factor", 2.0, "fail when measured allocs/op exceeds snapshot by this factor (needs -benchmem input)")
 	flag.Parse()
@@ -147,6 +172,39 @@ func main() {
 					name, allocs, entry.AllocsPerOp, aratio, verdict)
 			}
 		}
+
+		// Rate gate: custom per-second metrics (vehicles/s, cells/s) are
+		// higher-is-better, so the gate inverts — fail when the measured rate
+		// drops below snapshot/factor. Non-rate metrics (scenarios/vehicle)
+		// are structural constants, printed for the log but never gated.
+		units := make([]string, 0, len(entry.Metrics))
+		for unit := range entry.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			snapV := entry.Metrics[unit]
+			if snapV <= 0 {
+				continue
+			}
+			measuredV, ok := metricValue(line, unit)
+			if !ok {
+				continue
+			}
+			rratio := measuredV / snapV
+			if !strings.HasSuffix(unit, "/s") {
+				fmt.Printf("benchgate: %-40s %12.0f %s vs snapshot %12.0f (%.2fx) info\n",
+					name, measuredV, unit, snapV, rratio)
+				continue
+			}
+			verdict = "ok"
+			if measuredV < snapV / *factor {
+				verdict = "RATE REGRESSION"
+				failed++
+			}
+			fmt.Printf("benchgate: %-40s %12.0f %s vs snapshot %12.0f (%.2fx) %s\n",
+				name, measuredV, unit, snapV, rratio, verdict)
+		}
 		deltas = append(deltas, row)
 	}
 	if err := sc.Err(); err != nil {
@@ -157,10 +215,10 @@ func main() {
 	}
 	printDeltaSummary(*snapPath, deltas)
 	if failed > 0 {
-		fatal("%d benchmark gate(s) exceeded %.1fx (ns/op) / %.1fx (allocs/op) vs %s",
+		fatal("%d benchmark gate(s) breached %.1fx (ns/op, rates) / %.1fx (allocs/op) vs %s",
 			failed, *factor, *allocFactor, *snapPath)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within %.1fx ns/op and %.1fx allocs/op of %s\n",
+	fmt.Printf("benchgate: %d benchmark(s) within %.1fx ns/op+rates and %.1fx allocs/op of %s\n",
 		matched, *factor, *allocFactor, *snapPath)
 }
 

@@ -49,6 +49,8 @@ func main() {
 	workers := flag.Int("workers", 0, "bound the fleet worker pool (default GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "root seed for deterministic per-vehicle seed derivation")
 	reuse := flag.Bool("reuse", true, "pool vehicles per worker (reset in place); false rebuilds every stack from scratch")
+	noBatch := flag.Bool("no-batch", false, "run the cell-by-cell oracle executor instead of the batched default (prefix checkpointing + cross-vehicle memoisation); reports are byte-identical either way")
+	detail := flag.Bool("detail", false, "with -campaign: append the verbose per-family detail block (stage counters included)")
 	campaignFile := flag.String("campaign", "", "compile a campaign spec (text or JSON) and sweep it across the fleet")
 	riskFile := flag.String("risk", "", "run a risk spec: synthesize a campaign from its threat model, sweep it, print the calibrated profile")
 	listScenarios := flag.Bool("list-scenarios", false, "with -campaign or -risk: dump the generated scenario matrix without running it")
@@ -66,7 +68,7 @@ func main() {
 	var flushErr error
 	err = func() error {
 		defer func() { flushErr = stopProfiles() }()
-		return run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *campaignFile, *riskFile, *listScenarios)
+		return run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *noBatch, *detail, *campaignFile, *riskFile, *listScenarios)
 	}()
 	if err == nil {
 		err = flushErr
@@ -125,7 +127,7 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 	}, nil
 }
 
-func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse bool, campaignFile, riskFile string, listScenarios bool) error {
+func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse, noBatch, detail bool, campaignFile, riskFile string, listScenarios bool) error {
 	if topology {
 		fmt.Print(report.Topology())
 		return nil
@@ -141,16 +143,16 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 		return runLatency()
 	}
 	if campaignFile != "" {
-		return runCampaign(campaignFile, listScenarios, fleetSize, workers, seed, reuse)
+		return runCampaign(campaignFile, listScenarios, fleetSize, workers, seed, reuse, noBatch, detail)
 	}
 	if riskFile != "" {
-		return runRisk(riskFile, listScenarios, fleetSize, workers, seed, reuse)
+		return runRisk(riskFile, listScenarios, fleetSize, workers, seed, reuse, noBatch)
 	}
 	if listScenarios {
 		return fmt.Errorf("-list-scenarios requires -campaign or -risk")
 	}
 	if fleetSize > 0 {
-		return runFleet(fleetSize, workers, seed, enforcement, reuse)
+		return runFleet(fleetSize, workers, seed, enforcement, reuse, noBatch)
 	}
 	if attackSel == "" {
 		flag.Usage()
@@ -162,7 +164,7 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 // runCampaign compiles a campaign spec and either lists its generated
 // scenario matrix or sweeps it across the fleet, printing the deterministic
 // campaign view plus a separate wall-clock throughput line.
-func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse bool) error {
+func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse, noBatch, detail bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -188,27 +190,45 @@ func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64
 		Workers:       workers,
 		RootSeed:      seed,
 		FreshVehicles: !reuse,
+		NoBatch:       noBatch,
 	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Print(report.CampaignView(rep))
-	mode := "pooled"
+	fmt.Printf("mode=%s\n", execMode(noBatch))
+	if detail {
+		fmt.Print(report.CampaignDetailView(rep))
+	} else {
+		fmt.Print(report.CampaignView(rep))
+	}
+	pool := "pooled"
 	if !reuse {
-		mode = "fresh"
+		pool = "fresh"
 	}
 	fmt.Printf("\nthroughput: %.0f vehicles/s, %.0f cells/s (%s vehicles, %v wall clock)\n",
 		float64(fleetSize)/elapsed.Seconds(), float64(rep.Cells)/elapsed.Seconds(),
-		mode, elapsed.Round(time.Millisecond))
+		pool, elapsed.Round(time.Millisecond))
 	return nil
+}
+
+// execMode names the executor for the report header: "batched" is the
+// default prefix-checkpointed path, "oracle" the -no-batch cell-by-cell
+// reference. The marker sits in the deterministic body on purpose — the CI
+// equivalence smoke strips it (with the throughput line) before diffing a
+// batched run against an oracle run.
+func execMode(noBatch bool) string {
+	if noBatch {
+		return "oracle"
+	}
+	return "batched"
 }
 
 // runRisk executes the risk pipeline: parse the spec, synthesize a campaign
 // from its threat model, sweep it across the fleet, and print the
 // calibrated rubric-vs-measured profile. The profile itself is
 // deterministic; the wall-clock throughput line prints separately.
-func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse bool) error {
+func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse, noBatch bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -234,26 +254,28 @@ func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, re
 		Workers:       workers,
 		RootSeed:      seed,
 		FreshVehicles: !reuse,
+		NoBatch:       noBatch,
 	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	fmt.Printf("mode=%s\n", execMode(noBatch))
 	fmt.Print(report.RiskView(out.Profile))
-	mode := "pooled"
+	pool := "pooled"
 	if !reuse {
-		mode = "fresh"
+		pool = "fresh"
 	}
 	fmt.Printf("\nthroughput: %.0f vehicles/s, %.0f cells/s (%s vehicles, %v wall clock)\n",
 		float64(out.Report.Fleet)/elapsed.Seconds(), float64(out.Report.Cells)/elapsed.Seconds(),
-		mode, elapsed.Round(time.Millisecond))
+		pool, elapsed.Round(time.Millisecond))
 	return nil
 }
 
 // runFleet sweeps the Table I matrix across a simulated fleet and prints the
 // merged report plus the wall-clock throughput. The report itself stays
 // byte-stable for a given config; the timing line is printed separately.
-func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse bool) error {
+func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse, noBatch bool) error {
 	regimes, err := parseRegimes(enforcement)
 	if err != nil {
 		return err
@@ -265,18 +287,20 @@ func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse boo
 		RootSeed:      seed,
 		Regimes:       regimes,
 		FreshVehicles: !reuse,
+		NoBatch:       noBatch,
 	})
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	fmt.Printf("mode=%s\n", execMode(noBatch))
 	fmt.Print(fr)
-	mode := "pooled"
+	pool := "pooled"
 	if !reuse {
-		mode = "fresh"
+		pool = "fresh"
 	}
 	fmt.Printf("throughput: %.0f vehicles/s (%s vehicles, %v wall clock)\n",
-		float64(fleetSize)/elapsed.Seconds(), mode, elapsed.Round(time.Millisecond))
+		float64(fleetSize)/elapsed.Seconds(), pool, elapsed.Round(time.Millisecond))
 	return nil
 }
 

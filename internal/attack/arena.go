@@ -25,6 +25,7 @@ type Arena struct {
 	guards  []*behaviour.Engine // same alignment; wrap engines for EnforceBehaviour
 	nodes   []*canbus.Node      // same alignment; stable across car resets
 	inj     injectPool          // recycled injection bursts, reset per run
+	ckpt    checkpoint          // reusable prefix checkpoint (batched sweeps)
 	seed    uint64
 }
 
@@ -90,18 +91,20 @@ func (a *Arena) StartLive(cfg car.Config) (*car.Car, error) {
 	return a.car, nil
 }
 
-// Run executes one scenario under one enforcement regime on the pooled
-// vehicle, resetting it first. Results match Harness.Run on a fresh car.
-func (a *Arena) Run(sc Scenario, enf Enforcement) (Result, error) {
+// resetForRegime resets the pooled car and provisions the requested
+// enforcement regime, leaving the vehicle exactly as a scenario run expects
+// to find it. Factored out of Run so the batched path can provision once per
+// (prefix, regime) pair instead of once per cell.
+func (a *Arena) resetForRegime(enf Enforcement) error {
 	a.car.Reset(car.Config{Seed: a.seed})
 	switch enf {
 	case EnforceHPE:
 		if err := a.deployEngines(); err != nil {
-			return Result{}, err
+			return err
 		}
 	case EnforceBehaviour:
 		if err := a.deployEngines(); err != nil {
-			return Result{}, err
+			return err
 		}
 		// Layer the pooled behavioural guards over the freshly re-provisioned
 		// identifier engines; Reset clears their rate windows so a reused
@@ -115,7 +118,124 @@ func (a *Arena) Run(sc Scenario, enf Enforcement) (Result, error) {
 			n.Controller().SetFilters()
 		}
 	}
+	return nil
+}
+
+// Run executes one scenario under one enforcement regime on the pooled
+// vehicle, resetting it first. Results match Harness.Run on a fresh car.
+func (a *Arena) Run(sc Scenario, enf Enforcement) (Result, error) {
+	if err := a.resetForRegime(enf); err != nil {
+		return Result{}, err
+	}
 	return a.h.execute(a.car, sc, enf, &a.inj)
+}
+
+// checkpoint captures the arena's complete post-prefix state: the car
+// substrate (scheduler clock, bus, nodes, vehicle state) plus every pooled
+// policy engine and behavioural guard the active regime consults. One
+// checkpoint per arena is enough — buckets are processed sequentially and
+// each (prefix, regime) pair overwrites it in place, so steady-state batched
+// sweeps capture without allocating.
+type checkpoint struct {
+	car     car.Snapshot
+	engines []hpe.Snapshot
+	guards  []behaviour.Snapshot
+}
+
+// capture snapshots the arena into ck. Engine and guard state is captured
+// only for the regimes that consult it: under EnforceNone/EnforceSoftware no
+// inline filter is installed, so their (stale, unread) state cannot affect a
+// forked cell.
+func (a *Arena) capture(ck *checkpoint, enf Enforcement) {
+	a.car.Snapshot(&ck.car)
+	if enf == EnforceHPE || enf == EnforceBehaviour {
+		if ck.engines == nil {
+			ck.engines = make([]hpe.Snapshot, len(a.engines))
+		}
+		for i, e := range a.engines {
+			e.Snapshot(&ck.engines[i])
+		}
+	}
+	if enf == EnforceBehaviour {
+		if ck.guards == nil {
+			ck.guards = make([]behaviour.Snapshot, len(a.guards))
+		}
+		for i, g := range a.guards {
+			g.Snapshot(&ck.guards[i])
+		}
+	}
+}
+
+// restore rewinds the arena to ck. A restored arena runs a scenario tail
+// byte-identically to one that replayed the whole prefix from resetForRegime
+// — the contract the checkpoint property tests assert.
+func (a *Arena) restore(ck *checkpoint, enf Enforcement) {
+	a.car.RestoreFrom(&ck.car)
+	if enf == EnforceHPE || enf == EnforceBehaviour {
+		for i, e := range a.engines {
+			e.RestoreFrom(&ck.engines[i])
+		}
+	}
+	if enf == EnforceBehaviour {
+		for i, g := range a.guards {
+			g.RestoreFrom(&ck.guards[i])
+		}
+	}
+}
+
+// RunSummariesBatched is RunSummaries driven by a precomputed BatchPlan: for
+// every bucket of scenarios sharing a prefix it replays the prefix once per
+// regime, checkpoints the quiescent vehicle, and forks each cell from the
+// checkpoint instead of paying a full reset + regime provisioning + setup
+// replay. Singleton buckets fall back to the plain per-cell path.
+//
+// Aggregates are byte-identical to RunSummaries on the same scenarios and
+// regimes: each forked cell produces the same Result as a cold run (restore
+// equals reset — the checkpoint property tests assert it per cell), and
+// Summary.Add is commutative, so the bucket-major cell order cannot show in
+// the totals.
+func (a *Arena) RunSummariesBatched(p *BatchPlan) ([]RegimeSummary, error) {
+	out := make([]RegimeSummary, len(p.Regimes))
+	for i, enf := range p.Regimes {
+		out[i].Regime = enf
+	}
+	for _, bucket := range p.buckets {
+		if len(bucket) == 1 {
+			sc := p.Scenarios[bucket[0]]
+			for i, enf := range p.Regimes {
+				r, err := a.Run(sc, enf)
+				if err != nil {
+					return nil, err
+				}
+				out[i].Summary.Add(r)
+			}
+			continue
+		}
+		for i, enf := range p.Regimes {
+			// Shared prefix: every scenario in the bucket carries the same
+			// Setup (PlanBatches groups by prefix key, and the campaign
+			// compiler keys on the setup identity), so the first scenario's
+			// prefix stands in for all of them.
+			if err := a.resetForRegime(enf); err != nil {
+				return nil, err
+			}
+			if err := a.h.runSetup(a.car, p.Scenarios[bucket[0]]); err != nil {
+				return nil, err
+			}
+			a.capture(&a.ckpt, enf)
+			for ci, idx := range bucket {
+				if ci > 0 {
+					a.restore(&a.ckpt, enf)
+				}
+				r, err := a.h.executeTail(a.car, p.Scenarios[idx], enf, &a.inj)
+				if err != nil {
+					return nil, err
+				}
+				out[i].Summary.Add(r)
+			}
+		}
+	}
+	return out, nil
 }
 
 // RunMatrix executes every scenario under every requested regime on the

@@ -88,6 +88,13 @@ func (s Summary) String() string {
 		s.Runs, s.Succeeded, s.Blocked, s.FalsePositives, s.Injected, s.WriteBlocked, s.ReadBlocked)
 }
 
+// Verbose renders the aggregate in one line including the stage counters
+// String omits. The String prefix is reused verbatim, so verbose renderings
+// stay aligned with legacy ones column-for-column up to the stage fields.
+func (s Summary) Verbose() string {
+	return s.String() + fmt.Sprintf(" stages=%d halted=%d", s.StageRuns, s.StagesHalted)
+}
+
 // Summarize reduces results to a Summary.
 func Summarize(results []Result) Summary {
 	var s Summary

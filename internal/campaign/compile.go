@@ -120,6 +120,18 @@ func splitmix(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// prefixKey derives a scenario prefix-sharing key from a family seed and a
+// bucket ordinal, reusing the stack's shared mixing primitive. A zero result
+// would read as "no sharing" to attack.PlanBatches, so the (astronomically
+// unlikely) zero derivation is remapped.
+func prefixKey(famSeed uint64, bucket int) uint64 {
+	k := engine.VehicleSeed(famSeed, bucket)
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
 // Compiler lowers a Spec into a Plan of executable attack.Scenario cells.
 type Compiler struct {
 	// Bases is the baseline catalog mutate generators draw from
@@ -161,6 +173,17 @@ func (cp Compiler) Compile(sp *Spec) (*Plan, error) {
 		}
 		if err != nil {
 			return nil, fmt.Errorf("campaign %q generator %q: %w", sp.Name, g.Name, err)
+		}
+		if g.Kind == KindFlood || g.Kind == KindStaged {
+			// Flood and staged cells carry no Setup: their pre-attack prefix
+			// is reset + regime provisioning alone, identical across the whole
+			// family, so the family shares one prefix bucket. (Mutate families
+			// key per base inside expandMutate — variants inherit their base's
+			// Setup, and different bases prepare different vehicle state.)
+			key := prefixKey(fam.Seed, 0)
+			for si := range fam.Scenarios {
+				fam.Scenarios[si].PrefixKey = key
+			}
 		}
 		if len(fam.Scenarios) == 0 {
 			return nil, fmt.Errorf("campaign %q generator %q: expansion produced no scenarios", sp.Name, g.Name)
@@ -261,6 +284,12 @@ func expandMutate(g *GeneratorSpec, bases []attack.Scenario, famSeed uint64) ([]
 	combo := 0
 	for bi := range selected {
 		base := &selected[bi]
+		// Every variant of one base inherits the base's Setup (mutateScenario
+		// copies the scenario struct), so all of them share an identical
+		// pre-attack prefix: one prefix bucket per base. The key survives the
+		// pick shuffle below — attack.PlanBatches groups by key, it does not
+		// require bucket siblings to stay adjacent.
+		key := prefixKey(famSeed, bi)
 		for _, att := range attackers {
 			for _, plc := range placements {
 				for _, mode := range modes {
@@ -270,6 +299,7 @@ func expandMutate(g *GeneratorSpec, bases []attack.Scenario, famSeed uint64) ([]
 								combo++
 								sc, ok := mutateScenario(g, base, combo-1, att, plc, mode, rep, gap, pay)
 								if ok {
+									sc.PrefixKey = key
 									out = append(out, sc)
 								}
 							}

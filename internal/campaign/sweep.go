@@ -28,6 +28,10 @@ type SweepConfig struct {
 	TrafficHorizon time.Duration
 	// ErrorRate enables bus error injection in the live phase.
 	ErrorRate float64
+	// NoBatch selects the engine's cell-by-cell oracle executor instead of
+	// the default batched one (prefix checkpointing + cross-vehicle
+	// memoisation); both render byte-identical reports.
+	NoBatch bool
 }
 
 // FamilyReport is one family's fleet-merged outcome.
@@ -116,6 +120,7 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 		FreshVehicles:  cfg.FreshVehicles,
 		Harness:        h,
 		SkipMAC:        true,
+		NoBatch:        cfg.NoBatch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)

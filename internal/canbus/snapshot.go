@@ -1,0 +1,185 @@
+package canbus
+
+import "time"
+
+// This file implements quiescent-point checkpointing for the bus substrate:
+// Snapshot captures the full mutable state of a pristine topology at an
+// instant where no transmission is in flight, and RestoreFrom rewinds the
+// bus to that capture with Reset's topology discipline (post-snapshot nodes
+// discarded or parked) but a state overlay instead of a wipe. The attack
+// arena uses the pair to replay a shared scenario prefix once per
+// enforcement regime and fork every cell of a mutate family from it.
+//
+// Quiescence is the load-bearing simplification: at a drained-scheduler
+// instant the bus is idle (busy=false, no armed kick, empty transmit
+// queues), so a checkpoint needs no in-flight frame, no pending-transmitter
+// list and no per-node queue contents — only counters, filters and receive
+// state. Snapshot panics when that precondition is violated rather than
+// capturing a state it could not faithfully restore.
+
+// NodeSnapshot captures one pristine node's mutable state at a quiescent
+// instant (empty transmit queue). Controller filter banks are aliased, not
+// copied: filters are only read or replaced wholesale (SetFilters copies its
+// input), the same invariant Controller.reset relies on.
+type NodeSnapshot struct {
+	inline   InlineFilter
+	stats    NodeStats
+	counters ErrorCounters
+
+	// Controller state.
+	filters     []AcceptanceFilter
+	exact       *[(MaxStandardID + 1) / 64]uint64
+	handler     Handler
+	mailboxCap  int
+	compromised bool
+	overruns    uint64
+	mailbox     []Frame // owned deep copy; frames Cloned both ways
+
+	// Remote auto-responders, copied only when any are registered (the car
+	// topology registers none, so the common capture stays allocation-free).
+	responders map[uint32]func() []byte
+}
+
+// snapshotState captures the node's mutable state into dst, reusing dst's
+// buffers across captures.
+func (n *Node) snapshotState(dst *NodeSnapshot) {
+	if len(n.txq) != 0 {
+		panic("canbus: snapshot of a node with queued frames")
+	}
+	dst.inline = n.inline
+	dst.stats = n.stats
+	dst.counters = n.counters
+	c := n.ctrl
+	dst.filters = c.filters
+	dst.exact = c.exact
+	dst.handler = c.handler
+	dst.mailboxCap = c.mailboxCap
+	dst.compromised = c.compromised
+	dst.overruns = c.overruns
+	dst.mailbox = dst.mailbox[:0]
+	for _, f := range c.mailbox {
+		dst.mailbox = append(dst.mailbox, f.Clone())
+	}
+	if len(n.responders) == 0 {
+		clear(dst.responders)
+	} else {
+		if dst.responders == nil {
+			dst.responders = make(map[uint32]func() []byte, len(n.responders))
+		} else {
+			clear(dst.responders)
+		}
+		for id, fn := range n.responders {
+			dst.responders[id] = fn
+		}
+	}
+}
+
+// restoreState rewinds the node to the captured state. Mutations the
+// post-checkpoint tail may have applied beyond the capture — queued frames,
+// registered responders, a compromised controller — are cleared exactly as
+// Node.reset clears them.
+func (n *Node) restoreState(src *NodeSnapshot) {
+	n.inline = src.inline
+	n.stats = src.stats
+	n.counters = src.counters
+	n.txq = n.txq[:0]
+	n.detached = false
+	clear(n.responders)
+	for id, fn := range src.responders {
+		if n.responders == nil {
+			n.responders = map[uint32]func() []byte{}
+		}
+		n.responders[id] = fn
+	}
+	c := n.ctrl
+	c.filters = src.filters
+	c.exact = src.exact
+	c.handler = src.handler
+	c.mailboxCap = src.mailboxCap
+	c.compromised = src.compromised
+	c.overruns = src.overruns
+	c.mailbox = c.mailbox[:0]
+	for _, f := range src.mailbox {
+		c.mailbox = append(c.mailbox, f.Clone())
+	}
+}
+
+// BusSnapshot captures a quiescent bus's full mutable state: configuration,
+// RNG position, counters and every pristine node's state. Reusable — the
+// arena holds one per (prefix, regime) and overwrites it per bucket.
+type BusSnapshot struct {
+	bitTime  time.Duration
+	errRate  float64
+	rngState uint64
+	stats    busCounters
+	nodes    []NodeSnapshot // index-aligned with the pristine set
+}
+
+// Snapshot captures the bus's state into dst for a later RestoreFrom. The
+// bus must be quiescent (no in-flight transmission, no armed arbitration
+// round, no pending transmitters) and carry exactly its pristine topology —
+// both hold at any drained-scheduler instant before attackers are placed.
+// The tracer is not captured; like Reset, RestoreFrom clears it.
+func (b *Bus) Snapshot(dst *BusSnapshot) {
+	if b.busy || b.kickArmed || len(b.txPending) != 0 {
+		panic("canbus: Snapshot of a non-quiescent bus")
+	}
+	if len(b.nodes) != len(b.pristine) {
+		panic("canbus: Snapshot of a non-pristine topology")
+	}
+	dst.bitTime = b.bitTime
+	dst.errRate = b.errRate
+	dst.rngState = b.rng.State()
+	dst.stats = b.stats
+	if cap(dst.nodes) < len(b.pristine) {
+		dst.nodes = make([]NodeSnapshot, len(b.pristine))
+	}
+	dst.nodes = dst.nodes[:len(b.pristine)]
+	for i, n := range b.pristine {
+		n.snapshotState(&dst.nodes[i])
+	}
+}
+
+// RestoreFrom rewinds the bus to a state captured by Snapshot. Topology
+// handling mirrors Reset: nodes attached after the capture (a cell's outside
+// attacker) are discarded or parked for recycling, pristine nodes are
+// restored to their captured state, and the error-injection RNG resumes at
+// its captured stream position. The owning scheduler is not touched —
+// restore it first (car.Car.RestoreFrom does).
+func (b *Bus) RestoreFrom(src *BusSnapshot) {
+	b.bitTime = src.bitTime
+	b.errRate = src.errRate
+	b.rng.SetState(src.rngState)
+	b.busy = false
+	b.kickArmed = false
+	b.txNode, b.txFrame, b.txFailed = nil, Frame{}, false
+	b.tracer = nil
+	for _, n := range b.txPending {
+		n.txPending = false
+	}
+	b.txPending = b.txPending[:0]
+	b.orderSeq = b.pristineOrderSeq
+	for _, n := range b.nodes {
+		if !n.snapped {
+			n.detached = true
+			delete(b.byName, n.name)
+			if b.recycleRogues {
+				b.rogues[n.name] = n
+			} else {
+				n.txq = nil
+			}
+		}
+	}
+	b.nodes = append(b.nodes[:0], b.pristine...)
+	b.rxDirty = true
+	for i, n := range b.pristine {
+		n.restoreState(&src.nodes[i])
+	}
+	if b.namesEvict {
+		for _, n := range b.pristine {
+			b.byName[n.name] = n
+		}
+		b.namesEvict = false
+	}
+	b.stats = src.stats
+}

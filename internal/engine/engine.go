@@ -29,6 +29,19 @@
 // seeds; cross-group isolation rests on the arena's reset-equals-fresh
 // contract (each cell resets the vehicle).
 //
+// # Batched evaluation
+//
+// By default the sweep runs batched: scenario groups are planned into
+// prefix-sharing buckets (attack.PlanBatches), each worker's arena replays a
+// bucket's shared pre-attack prefix once per enforcement regime and forks
+// the remaining cells from a checkpoint, and — because attack cells never
+// enable bus error injection, the only seed consumer in the substrate — each
+// worker computes its first vehicle fully and reuses the seed-invariant
+// parts (attack aggregates always; live counters when ErrorRate is zero; MAC
+// probe counts always) for every later vehicle it claims. Config.NoBatch
+// selects the cell-by-cell oracle path instead; both render byte-identical
+// reports, which the equivalence tests and the CI smoke job assert.
+//
 // # Determinism
 //
 // Every vehicle derives its seed from the root seed via a SplitMix64 step,
@@ -121,6 +134,13 @@ type Config struct {
 	// SkipMAC skips the per-vehicle MAC least-privilege probe (and the MAC
 	// module derivation entirely).
 	SkipMAC bool
+	// NoBatch disables the batched executor: no prefix-checkpointed scenario
+	// batching and no cross-vehicle memoisation — every vehicle and every
+	// scenario×regime cell runs through the cell-by-cell oracle path. Batched
+	// (default) and oracle runs render byte-identical reports; the oracle
+	// survives as the reference the equivalence tests and the CI batched
+	// smoke job compare against.
+	NoBatch bool
 }
 
 func (c *Config) applyDefaults() error {
@@ -193,6 +213,28 @@ type shared struct {
 	macModule *mac.Module
 	probes    []macCheck // legitimate catalog writers, in catalog order
 	spoof     macCheck   // the infotainment→ECU spoof probe
+	// plans holds one prefix-bucketed batch plan per group (nil when
+	// Config.NoBatch): plans are immutable, so all workers share them.
+	plans []*attack.BatchPlan
+}
+
+// vehicleMemo caches the parts of one worker's first fully-computed vehicle
+// that are provably invariant across vehicle seeds, so every later vehicle
+// the worker claims copies them instead of re-simulating. The invariance is
+// structural, not assumed: a vehicle seed's only consumer in the simulation
+// substrate is the bus error-injection RNG, attack cells always reset the
+// vehicle with error injection disabled (so attack aggregates never depend
+// on the seed), the MAC probe is a pure function of the derived module, and
+// the live phase consumes the RNG only when Config.ErrorRate is non-zero —
+// the one case liveOK is never set. One memo per worker (never shared):
+// writes stay single-owner like the arena they ride with.
+type vehicleMemo struct {
+	attacks   [][]attack.RegimeSummary // per-group aggregates, copied per vehicle
+	attacksOK bool
+	live      VehicleReport // live-phase counters only
+	liveOK    bool
+	macChecks, macAllowed int
+	macOK                 bool
 }
 
 // buildProbes precomputes the least-privilege probe contexts.
@@ -229,6 +271,13 @@ func Run(cfg Config) (*FleetReport, error) {
 		}
 	}
 	sh := &shared{cfg: cfg, harness: h}
+	if !cfg.NoBatch {
+		sh.plans = make([]*attack.BatchPlan, len(cfg.Groups))
+		for gi := range cfg.Groups {
+			g := &cfg.Groups[gi]
+			sh.plans[gi] = attack.PlanBatches(g.Scenarios, g.Regimes...)
+		}
+	}
 	if !cfg.SkipMAC {
 		analysis, err := car.Analyze()
 		if err != nil {
@@ -275,15 +324,19 @@ func Run(cfg Config) (*FleetReport, error) {
 					}
 				}
 			}
+			var memo *vehicleMemo
+			if !cfg.NoBatch {
+				memo = &vehicleMemo{}
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= cfg.Fleet {
 					return
 				}
 				if ar != nil {
-					reports[i], errs[i] = ar.runVehicle(sh, i)
+					reports[i], errs[i] = ar.runVehicle(sh, i, memo)
 				} else {
-					reports[i], errs[i] = runVehicle(sh, i)
+					reports[i], errs[i] = runVehicle(sh, i, memo)
 				}
 			}
 		}()
@@ -324,89 +377,171 @@ func newArena(sh *shared) (*arena, error) {
 // identical phases, identical outcomes, zero reconstruction. One call is one
 // vehicle *visit*: the live phase once, then every scenario group back to
 // back on the same warm arena — cross-group isolation rests on the arena's
-// reset-equals-fresh contract, which resets the vehicle per cell.
-func (a *arena) runVehicle(sh *shared, index int) (VehicleReport, error) {
+// reset-equals-fresh contract, which resets the vehicle per cell. A non-nil
+// memo (the batched default) reuses the worker's first vehicle's
+// seed-invariant phases for every later one.
+func (a *arena) runVehicle(sh *shared, index int, memo *vehicleMemo) (VehicleReport, error) {
 	seed := VehicleSeed(sh.cfg.Groups[0].RootSeed, index)
 	rep := VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
 
 	// Live background simulation on the reset vehicle with re-provisioned
 	// pooled engines.
 	if !sh.cfg.SkipLive {
-		c, err := a.att.StartLive(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
-		if err != nil {
-			return rep, err
+		if memo != nil && memo.liveOK {
+			copyLive(&rep, &memo.live)
+		} else {
+			c, err := a.att.StartLive(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
+			if err != nil {
+				return rep, err
+			}
+			c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
+			c.Scheduler().Run()
+			collectLive(&rep, c)
+			if memo != nil && sh.cfg.ErrorRate == 0 {
+				copyLive(&memo.live, &rep)
+				memo.liveOK = true
+			}
 		}
-		c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
-		c.Scheduler().Run()
-		collectLive(&rep, c)
 	}
 
 	// MAC least-privilege probe on the reset pooled server.
 	if !sh.cfg.SkipMAC {
-		a.srv.Reset()
-		macProbe(&rep, a.srv, sh)
+		if memo != nil && memo.macOK {
+			rep.MACChecks, rep.MACAllowed = memo.macChecks, memo.macAllowed
+		} else {
+			a.srv.Reset()
+			macProbe(&rep, a.srv, sh)
+			if memo != nil {
+				memo.macChecks, memo.macAllowed = rep.MACChecks, rep.MACAllowed
+				memo.macOK = true
+			}
+		}
 	}
 
 	// Every group's scenario×regime block on the pooled vehicle, reseeded
 	// per group so each block is a pure function of (group root, index).
 	rep.Groups = make([][]attack.RegimeSummary, len(sh.cfg.Groups))
-	for gi := range sh.cfg.Groups {
-		g := &sh.cfg.Groups[gi]
-		a.att.SetSeed(VehicleSeed(g.RootSeed, index))
-		sums, err := a.att.RunSummaries(g.Scenarios, g.Regimes...)
-		if err != nil {
-			return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, err)
+	if memo != nil && memo.attacksOK {
+		for gi := range memo.attacks {
+			rep.Groups[gi] = append([]attack.RegimeSummary(nil), memo.attacks[gi]...)
 		}
-		rep.Groups[gi] = sums
+	} else {
+		for gi := range sh.cfg.Groups {
+			g := &sh.cfg.Groups[gi]
+			a.att.SetSeed(VehicleSeed(g.RootSeed, index))
+			var sums []attack.RegimeSummary
+			var err error
+			if sh.plans != nil {
+				sums, err = a.att.RunSummariesBatched(sh.plans[gi])
+			} else {
+				sums, err = a.att.RunSummaries(g.Scenarios, g.Regimes...)
+			}
+			if err != nil {
+				return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, err)
+			}
+			rep.Groups[gi] = sums
+		}
+		memoizeAttacks(memo, rep.Groups)
 	}
 	rep.Attacks = foldGroups(rep.Groups)
 	return rep, nil
+}
+
+// memoizeAttacks stores deep copies of one vehicle's per-group aggregates in
+// the worker memo. Copies both ways (store and replay) — a memoized slice
+// must never alias a report's, or foldGroups merging into one vehicle's view
+// would corrupt every later vehicle's.
+func memoizeAttacks(memo *vehicleMemo, groups [][]attack.RegimeSummary) {
+	if memo == nil {
+		return
+	}
+	memo.attacks = make([][]attack.RegimeSummary, len(groups))
+	for gi := range groups {
+		memo.attacks[gi] = append([]attack.RegimeSummary(nil), groups[gi]...)
+	}
+	memo.attacksOK = true
+}
+
+// copyLive copies the live-phase counters between vehicle reports.
+func copyLive(dst, src *VehicleReport) {
+	dst.FramesDelivered = src.FramesDelivered
+	dst.BusErrors = src.BusErrors
+	dst.WriteBlocked = src.WriteBlocked
+	dst.ReadBlocked = src.ReadBlocked
+	dst.AbortedTx = src.AbortedTx
+	dst.Utilisation = src.Utilisation
+	dst.SchedulerSteps = src.SchedulerSteps
 }
 
 // runVehicle simulates one vehicle end to end from scratch: the live
 // background simulation with a provisioned HPE stack, the MAC
 // least-privilege probe, and every scenario group's attack sweep (each cell
 // on a freshly constructed car — the reference path pooled runs are
-// compared against).
-func runVehicle(sh *shared, index int) (VehicleReport, error) {
+// compared against). The memo behaves exactly as in the pooled variant; the
+// first vehicle a worker computes still runs cell by cell on fresh cars, so
+// fresh batched runs exercise no checkpointing, only memo reuse.
+func runVehicle(sh *shared, index int, memo *vehicleMemo) (VehicleReport, error) {
 	seed := VehicleSeed(sh.cfg.Groups[0].RootSeed, index)
 	rep := VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
 
 	// Live background simulation: this vehicle's own scheduler, bus, car and
 	// deployed policy engines, driven over the configured horizon.
 	if !sh.cfg.SkipLive {
-		c, err := car.New(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
-		if err != nil {
-			return rep, err
+		if memo != nil && memo.liveOK {
+			copyLive(&rep, &memo.live)
+		} else {
+			c, err := car.New(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
+			if err != nil {
+				return rep, err
+			}
+			if _, err := hpe.Deploy(c.Bus(), sh.harness.Compiled, c, sh.harness.Cycles, car.AllNodes...); err != nil {
+				return rep, err
+			}
+			c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
+			c.Scheduler().Run()
+			collectLive(&rep, c)
+			if memo != nil && sh.cfg.ErrorRate == 0 {
+				copyLive(&memo.live, &rep)
+				memo.liveOK = true
+			}
 		}
-		if _, err := hpe.Deploy(c.Bus(), sh.harness.Compiled, c, sh.harness.Cycles, car.AllNodes...); err != nil {
-			return rep, err
-		}
-		c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
-		c.Scheduler().Run()
-		collectLive(&rep, c)
 	}
 
 	// MAC stack: a per-vehicle server loaded with the derived
 	// type-enforcement module.
 	if !sh.cfg.SkipMAC {
-		srv := mac.NewServer()
-		if err := srv.Load(sh.macModule); err != nil {
-			return rep, err
+		if memo != nil && memo.macOK {
+			rep.MACChecks, rep.MACAllowed = memo.macChecks, memo.macAllowed
+		} else {
+			srv := mac.NewServer()
+			if err := srv.Load(sh.macModule); err != nil {
+				return rep, err
+			}
+			macProbe(&rep, srv, sh)
+			if memo != nil {
+				memo.macChecks, memo.macAllowed = rep.MACChecks, rep.MACAllowed
+				memo.macOK = true
+			}
 		}
-		macProbe(&rep, srv, sh)
 	}
 
 	// Every group's scenario×regime sweep, seeded per group with this
 	// vehicle's group-derived seed.
 	rep.Groups = make([][]attack.RegimeSummary, len(sh.cfg.Groups))
-	for gi := range sh.cfg.Groups {
-		g := &sh.cfg.Groups[gi]
-		sums, err := sh.harness.WithSeed(VehicleSeed(g.RootSeed, index)).RunSummaries(g.Scenarios, g.Regimes...)
-		if err != nil {
-			return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, err)
+	if memo != nil && memo.attacksOK {
+		for gi := range memo.attacks {
+			rep.Groups[gi] = append([]attack.RegimeSummary(nil), memo.attacks[gi]...)
 		}
-		rep.Groups[gi] = sums
+	} else {
+		for gi := range sh.cfg.Groups {
+			g := &sh.cfg.Groups[gi]
+			sums, err := sh.harness.WithSeed(VehicleSeed(g.RootSeed, index)).RunSummaries(g.Scenarios, g.Regimes...)
+			if err != nil {
+				return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, err)
+			}
+			rep.Groups[gi] = sums
+		}
+		memoizeAttacks(memo, rep.Groups)
 	}
 	rep.Attacks = foldGroups(rep.Groups)
 	return rep, nil

@@ -204,6 +204,41 @@ func (e *Engine) Reset() {
 	e.unlock()
 }
 
+// Snapshot captures an engine's mutable decision state — the statistics and
+// the single-owner resolved-table cache — for the attack arena's prefix
+// checkpointing. The installed table and its source are deliberately not
+// captured: Install/Reinstall never runs inside a checkpoint window (regime
+// provisioning happens before the capture), so they are invariant across
+// every restore, and the cache fields re-resolve against the same table.
+type Snapshot struct {
+	stats      Stats
+	cacheTable *policy.NodeTable
+	cacheMode  policy.Mode
+	cacheMT    policy.ModeTable
+}
+
+// Snapshot captures the engine's mutable state into dst.
+func (e *Engine) Snapshot(dst *Snapshot) {
+	e.lock()
+	dst.stats = e.stats
+	e.unlock()
+	dst.cacheTable = e.cacheTable
+	dst.cacheMode = e.cacheMode
+	dst.cacheMT = e.cacheMT
+}
+
+// RestoreFrom rewinds the engine to a state captured by Snapshot. A restored
+// engine decides and counts byte-identically to one that replayed the
+// captured prefix after a Reset + Reinstall.
+func (e *Engine) RestoreFrom(src *Snapshot) {
+	e.lock()
+	e.stats = src.stats
+	e.unlock()
+	e.cacheTable = src.cacheTable
+	e.cacheMode = src.cacheMode
+	e.cacheMT = src.cacheMT
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	e.lock()

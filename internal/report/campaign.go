@@ -65,6 +65,28 @@ func CampaignView(r *campaign.CampaignReport) string {
 	return b.String()
 }
 
+// CampaignDetailView renders the campaign table followed by a verbose
+// per-family block: one attack.Summary.Verbose line per regime, carrying the
+// stage counters the legacy one-line Summary rendering omits. Deterministic
+// like CampaignView — the detail block adds columns, never run metadata.
+func CampaignDetailView(r *campaign.CampaignReport) string {
+	var b strings.Builder
+	b.WriteString(CampaignView(r))
+	b.WriteString("\ndetail:\n")
+	for i := range r.Families {
+		f := &r.Families[i]
+		fmt.Fprintf(&b, "family %s (%s):\n", f.Name, f.Kind)
+		for _, rs := range f.Regimes {
+			fmt.Fprintf(&b, "  %-9s %s\n", rs.Regime, rs.Summary.Verbose())
+		}
+	}
+	b.WriteString("totals:\n")
+	for _, rs := range r.Totals {
+		fmt.Fprintf(&b, "  %-9s %s\n", rs.Regime, rs.Summary.Verbose())
+	}
+	return b.String()
+}
+
 // stageCell renders a stage counter, blank when the family is single-stage.
 func stageCell(n int) string {
 	if n == 0 {

@@ -131,6 +131,9 @@ type RunConfig struct {
 	// FreshVehicles selects the engine's from-scratch reference path; the
 	// profile is byte-identical either way.
 	FreshVehicles bool
+	// NoBatch selects the engine's cell-by-cell oracle executor instead of
+	// the default batched one; the profile is byte-identical either way.
+	NoBatch bool
 }
 
 // Outcome bundles every artifact of one risk run.
@@ -194,6 +197,7 @@ func Run(sp *Spec, rc RunConfig) (*Outcome, error) {
 		Workers:       rc.Workers,
 		RootSeed:      root,
 		FreshVehicles: rc.FreshVehicles,
+		NoBatch:       rc.NoBatch,
 	})
 	if err != nil {
 		return nil, err
