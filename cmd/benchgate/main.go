@@ -110,11 +110,40 @@ func printDeltaSummary(snapPath string, rows []deltaRow) {
 	}
 }
 
+// printHealth is the containment-visibility side mode: it scans a carsim
+// report (the CI smoke artifacts) for the sweep supervisor's health line and
+// echoes the quarantine/retry/demotion counters with a benchgate prefix, so
+// the CI log's smoke-diff section shows what the supervisor contained
+// without anyone opening artifacts. Informational only — determinism is
+// asserted by the diffs themselves, so this mode never fails the build.
+func printHealth(path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal("read report: %v", err)
+	}
+	found := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "health: ") {
+			fmt.Printf("benchgate: containment (%s): %s\n", path, strings.TrimPrefix(line, "health: "))
+			found = true
+		}
+	}
+	if !found {
+		fmt.Printf("benchgate: containment (%s): no health line (supervision not armed, nothing contained)\n", path)
+	}
+}
+
 func main() {
 	snapPath := flag.String("snapshot", "BENCH_5.json", "benchmark snapshot to compare against")
 	factor := flag.Float64("factor", 2.0, "fail when measured ns/op exceeds snapshot by this factor")
 	allocFactor := flag.Float64("alloc-factor", 2.0, "fail when measured allocs/op exceeds snapshot by this factor (needs -benchmem input)")
+	healthFile := flag.String("print-health", "", "echo the supervisor health counters of a carsim report file and exit (no gating)")
 	flag.Parse()
+
+	if *healthFile != "" {
+		printHealth(*healthFile)
+		return
+	}
 
 	raw, err := os.ReadFile(*snapPath)
 	if err != nil {

@@ -15,10 +15,13 @@
 //	carsim -campaign examples/campaigns/quickstart.campaign -list-scenarios
 //	carsim -risk examples/threatmodels/connected-car.json
 //	carsim -risk examples/threatmodels/connected-car.json -list-scenarios
+//	carsim -campaign examples/campaigns/quickstart.campaign -fleet 50 -chaos "seed=7,panic=0.01,crash=0.002"
+//	carsim -campaign examples/campaigns/quickstart.campaign -fleet 50 -verify-sample 0.05
 //	carsim -campaign examples/campaigns/quickstart.campaign -fleet 100 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,11 +34,24 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/canbus"
 	"repro/internal/car"
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/hpe"
 	"repro/internal/report"
 	"repro/internal/risk"
 )
+
+// errPartialSweep marks an unrecoverable sweep whose partial report was
+// still flushed to stdout; main maps it to exit code 3, distinct from the
+// generic failure exit 1, so callers can tell "failed with evidence" from
+// "failed outright".
+var errPartialSweep = errors.New("sweep unrecoverable, partial report flushed")
+
+// supervision bundles the sweep supervisor's CLI-selectable knobs.
+type supervision struct {
+	plan   *chaos.Plan
+	verify float64
+}
 
 func main() {
 	topology := flag.Bool("print-topology", false, "print the Fig. 2 topology and exit")
@@ -54,9 +70,22 @@ func main() {
 	campaignFile := flag.String("campaign", "", "compile a campaign spec (text or JSON) and sweep it across the fleet")
 	riskFile := flag.String("risk", "", "run a risk spec: synthesize a campaign from its threat model, sweep it, print the calibrated profile")
 	listScenarios := flag.Bool("list-scenarios", false, "with -campaign or -risk: dump the generated scenario matrix without running it")
+	chaosSpec := flag.String("chaos", "", "arm deterministic fault injection, e.g. \"seed=7,panic=0.01,corrupt=0.005,deadline=0.002,crash=0.001\" (\"off\" disables)")
+	verifySample := flag.Float64("verify-sample", 0, "cross-check this fraction of batched cells against the cell-by-cell oracle inline (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	flag.Parse()
+
+	plan, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	if *verifySample < 0 || *verifySample > 1 {
+		fmt.Fprintf(os.Stderr, "carsim: -verify-sample %v outside [0, 1]\n", *verifySample)
+		os.Exit(1)
+	}
+	sup := supervision{plan: plan, verify: *verifySample}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -68,13 +97,16 @@ func main() {
 	var flushErr error
 	err = func() error {
 		defer func() { flushErr = stopProfiles() }()
-		return run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *noBatch, *detail, *campaignFile, *riskFile, *listScenarios)
+		return run(*topology, *nodeArch, *hpeView, *latency, *attackSel, *enforcement, *trace, *fleetSize, *workers, *seed, *reuse, *noBatch, *detail, *campaignFile, *riskFile, *listScenarios, sup)
 	}()
 	if err == nil {
 		err = flushErr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
+		if errors.Is(err, errPartialSweep) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -127,7 +159,7 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 	}, nil
 }
 
-func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse, noBatch, detail bool, campaignFile, riskFile string, listScenarios bool) error {
+func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enforcement string, trace bool, fleetSize, workers int, seed uint64, reuse, noBatch, detail bool, campaignFile, riskFile string, listScenarios bool, sup supervision) error {
 	if topology {
 		fmt.Print(report.Topology())
 		return nil
@@ -143,16 +175,16 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 		return runLatency()
 	}
 	if campaignFile != "" {
-		return runCampaign(campaignFile, listScenarios, fleetSize, workers, seed, reuse, noBatch, detail)
+		return runCampaign(campaignFile, listScenarios, fleetSize, workers, seed, reuse, noBatch, detail, sup)
 	}
 	if riskFile != "" {
-		return runRisk(riskFile, listScenarios, fleetSize, workers, seed, reuse, noBatch)
+		return runRisk(riskFile, listScenarios, fleetSize, workers, seed, reuse, noBatch, sup)
 	}
 	if listScenarios {
 		return fmt.Errorf("-list-scenarios requires -campaign or -risk")
 	}
 	if fleetSize > 0 {
-		return runFleet(fleetSize, workers, seed, enforcement, reuse, noBatch)
+		return runFleet(fleetSize, workers, seed, enforcement, reuse, noBatch, sup)
 	}
 	if attackSel == "" {
 		flag.Usage()
@@ -164,7 +196,7 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 // runCampaign compiles a campaign spec and either lists its generated
 // scenario matrix or sweeps it across the fleet, printing the deterministic
 // campaign view plus a separate wall-clock throughput line.
-func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse, noBatch, detail bool) error {
+func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse, noBatch, detail bool, sup supervision) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -191,9 +223,18 @@ func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64
 		RootSeed:      seed,
 		FreshVehicles: !reuse,
 		NoBatch:       noBatch,
+		Chaos:         sup.plan,
+		VerifySample:  sup.verify,
 	})
 	if err != nil {
-		return err
+		if rep == nil {
+			return err
+		}
+		// Unrecoverable sweep: flush the partial view — its Health ledger is
+		// the evidence an operator debugs from — then fail with exit code 3.
+		fmt.Printf("mode=%s\n", execMode(noBatch))
+		fmt.Print(report.CampaignView(rep))
+		return fmt.Errorf("%w: %v", errPartialSweep, err)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("mode=%s\n", execMode(noBatch))
@@ -228,7 +269,7 @@ func execMode(noBatch bool) string {
 // from its threat model, sweep it across the fleet, and print the
 // calibrated rubric-vs-measured profile. The profile itself is
 // deterministic; the wall-clock throughput line prints separately.
-func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse, noBatch bool) error {
+func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -255,9 +296,19 @@ func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, re
 		RootSeed:      seed,
 		FreshVehicles: !reuse,
 		NoBatch:       noBatch,
+		Chaos:         sup.plan,
+		VerifySample:  sup.verify,
 	})
 	if err != nil {
-		return err
+		if out == nil || out.Report == nil {
+			return err
+		}
+		// The profile was never calibrated (scoring from a partial sweep
+		// would launder incomplete block rates into DREAD deltas); flush the
+		// partial campaign evidence instead.
+		fmt.Printf("mode=%s\n", execMode(noBatch))
+		fmt.Print(report.CampaignView(out.Report))
+		return fmt.Errorf("%w: %v", errPartialSweep, err)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("mode=%s\n", execMode(noBatch))
@@ -275,7 +326,7 @@ func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, re
 // runFleet sweeps the Table I matrix across a simulated fleet and prints the
 // merged report plus the wall-clock throughput. The report itself stays
 // byte-stable for a given config; the timing line is printed separately.
-func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse, noBatch bool) error {
+func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse, noBatch bool, sup supervision) error {
 	regimes, err := parseRegimes(enforcement)
 	if err != nil {
 		return err
@@ -288,9 +339,16 @@ func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse, no
 		Regimes:       regimes,
 		FreshVehicles: !reuse,
 		NoBatch:       noBatch,
+		Chaos:         sup.plan,
+		VerifySample:  sup.verify,
 	})
 	if err != nil {
-		return err
+		if fr == nil {
+			return err
+		}
+		fmt.Printf("mode=%s\n", execMode(noBatch))
+		fmt.Print(fr)
+		return fmt.Errorf("%w: %v", errPartialSweep, err)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("mode=%s\n", execMode(noBatch))

@@ -388,6 +388,66 @@ func TestRiskPipelineEndToEnd(t *testing.T) {
 	}
 }
 
+// TestChaosSupervisorEndToEnd drives carsim's fault-injection surface the
+// way the CI chaos smoke does: a recoverable seeded chaos sweep exits 0 with
+// a health line and a payload byte-identical to the fault-free run, and an
+// unrecoverable plan exits 3 after flushing the partial report.
+func TestChaosSupervisorEndToEnd(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "carsim")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/carsim").CombinedOutput(); err != nil {
+		t.Fatalf("build carsim: %v\n%s", err, out)
+	}
+	base := []string{"-campaign", "examples/campaigns/quickstart.campaign", "-fleet", "12", "-seed", "42"}
+
+	payload := func(out string) string {
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "health: ") || strings.HasPrefix(line, "throughput:") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+
+	clean, err := exec.Command(bin, base...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("fault-free run: %v\n%s", err, clean)
+	}
+
+	chaotic, err := exec.Command(bin, append(base,
+		"-chaos", "seed=7,panic=0.02,corrupt=0.02,deadline=0.01,crash=0.005")...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("recoverable chaos run failed: %v\n%s", err, chaotic)
+	}
+	if !strings.Contains(string(chaotic), "\nhealth: ") {
+		t.Errorf("chaos run printed no health line:\n%s", chaotic)
+	}
+	if payload(string(chaotic)) != payload(string(clean)) {
+		t.Errorf("chaos payload diverged from fault-free run:\n--- clean ---\n%s\n--- chaos ---\n%s", clean, chaotic)
+	}
+
+	// Unrecoverable: every attempt faults; carsim must flush the partial
+	// report and exit 3 (distinct from usage/spec errors at 1).
+	out, err := exec.Command(bin, append(base, "-chaos", "seed=3,panic=1,persist=99")...).CombinedOutput()
+	var exit *exec.ExitError
+	if err == nil {
+		t.Fatalf("unrecoverable chaos run exited 0:\n%s", out)
+	} else if !errors.As(err, &exit) || exit.ExitCode() != 3 {
+		t.Fatalf("unrecoverable chaos run: %v, want exit code 3\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "unrecoverable=") {
+		t.Errorf("partial report lacks health counters:\n%s", out)
+	}
+
+	// A malformed spec is a usage error, not a sweep failure: exit 1.
+	if err := exec.Command(bin, append(base, "-chaos", "panic=nope")...).Run(); err == nil {
+		t.Error("bad -chaos spec exited 0")
+	} else if !errors.As(err, &exit) || exit.ExitCode() != 1 {
+		t.Errorf("bad -chaos spec: %v, want exit code 1", err)
+	}
+}
+
 // TestDeterministicReplay: two identical simulations produce identical
 // traces — the property every experiment in EXPERIMENTS.md relies on.
 func TestDeterministicReplay(t *testing.T) {

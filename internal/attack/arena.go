@@ -145,8 +145,13 @@ type checkpoint struct {
 // capture snapshots the arena into ck. Engine and guard state is captured
 // only for the regimes that consult it: under EnforceNone/EnforceSoftware no
 // inline filter is installed, so their (stale, unread) state cannot affect a
-// forked cell.
-func (a *Arena) capture(ck *checkpoint, enf Enforcement) {
+// forked cell. A violated quiescence precondition returns ErrNotQuiescent
+// (a hard panic under the chaosdebug build tag) instead of capturing state
+// the restore could not faithfully reproduce.
+func (a *Arena) capture(ck *checkpoint, enf Enforcement) error {
+	if err := a.guardQuiescent(); err != nil {
+		return err
+	}
 	a.car.Snapshot(&ck.car)
 	if enf == EnforceHPE || enf == EnforceBehaviour {
 		if ck.engines == nil {
@@ -164,6 +169,7 @@ func (a *Arena) capture(ck *checkpoint, enf Enforcement) {
 			g.Snapshot(&ck.guards[i])
 		}
 	}
+	return nil
 }
 
 // restore rewinds the arena to ck. A restored arena runs a scenario tail
@@ -222,7 +228,9 @@ func (a *Arena) RunSummariesBatched(p *BatchPlan) ([]RegimeSummary, error) {
 			if err := a.h.runSetup(a.car, p.Scenarios[bucket[0]]); err != nil {
 				return nil, err
 			}
-			a.capture(&a.ckpt, enf)
+			if err := a.capture(&a.ckpt, enf); err != nil {
+				return nil, err
+			}
 			for ci, idx := range bucket {
 				if ci > 0 {
 					a.restore(&a.ckpt, enf)

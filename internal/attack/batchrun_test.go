@@ -1,0 +1,204 @@
+package attack
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/car"
+)
+
+// batchRunScenarios builds a plan shape with both singleton and forked
+// buckets: the full checkpoint catalog plus a keyed shared-prefix family.
+func batchRunScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	scs := checkpointScenarios()
+	var withSetup Scenario
+	found := false
+	for _, sc := range Scenarios() {
+		if sc.Setup != nil {
+			withSetup, found = sc, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no Table I scenario with a Setup prefix")
+	}
+	for i, rep := range []int{1, 2, 3} {
+		v := withSetup
+		v.Name += " variant"
+		v.Injections = append([]Injection(nil), withSetup.Injections...)
+		for j := range v.Injections {
+			v.Injections[j].Repeat = rep
+			v.Injections[j].Gap = time.Duration(i+1) * stepTime
+		}
+		v.PrefixKey = 11
+		scs = append(scs, v)
+	}
+	return scs
+}
+
+// TestBatchRunMatchesRunSummariesBatched: driving every cell through the
+// stepped cursor folds aggregates byte-identical to the one-shot
+// RunSummariesBatched — the equivalence that lets the sweep supervisor wrap
+// cells without changing any payload byte.
+func TestBatchRunMatchesRunSummariesBatched(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.NewArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := batchRunScenarios(t)
+	p := PlanBatches(scs, allRegimes...)
+	want, err := a.RunSummariesBatched(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]RegimeSummary, len(p.Regimes))
+	for i, enf := range p.Regimes {
+		got[i].Regime = enf
+	}
+	br := a.NewBatchRun(p)
+	cells := 0
+	for br.Next() {
+		_, ri := br.Cell()
+		r, err := br.Run()
+		if err != nil {
+			t.Fatalf("cell %d: %v", cells, err)
+		}
+		got[ri].Summary.Add(r)
+		cells++
+	}
+	if want := len(scs) * len(allRegimes); cells != want {
+		t.Fatalf("cursor visited %d cells, want %d", cells, want)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stepped cursor diverged from RunSummariesBatched\none-shot: %+v\nstepped:  %+v", want, got)
+	}
+}
+
+// TestBatchRunOracleMatchesBatched: RunOracle on any cell produces the same
+// Result as the batched path for that cell, and a batched cell after an
+// oracle run (which dirties the arena) still re-primes correctly.
+func TestBatchRunOracleMatchesBatched(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.NewArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PlanBatches(batchRunScenarios(t), EnforceNone, EnforceHPE)
+	br := a.NewBatchRun(p)
+	i := 0
+	for br.Next() {
+		batched, err := br.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cross-check every third cell inline, like the verify sampler does.
+		if i%3 == 0 {
+			oracle, err := br.RunOracle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oracle != batched {
+				sci, ri := br.Cell()
+				t.Errorf("cell (scenario %d, regime %d): oracle %+v != batched %+v", sci, ri, oracle, batched)
+			}
+		}
+		i++
+	}
+}
+
+// TestBatchRunCorruptionDetectedAndRecovered: an armed restore corruption
+// surfaces as ErrIntegrity on the forked cell, and a retry of the same cell
+// (which re-primes the checkpoint from a full reset) produces the correct
+// result — the exact recovery sequence the supervisor performs.
+func TestBatchRunCorruptionDetectedAndRecovered(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.NewArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := batchRunScenarios(t)
+	p := PlanBatches(scs, EnforceHPE)
+	br := a.NewBatchRun(p)
+	corrupted := 0
+	got := map[int]Result{} // flat cell index -> result
+	cell := 0
+	for br.Next() {
+		if br.WillRestore() && corrupted == 0 {
+			br.CorruptNextRestore()
+			r, err := br.Run()
+			if !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("corrupted restore: got (%+v, %v), want ErrIntegrity", r, err)
+			}
+			corrupted++
+			br.Invalidate() // supervisor's refresh step
+			// Retry the same cell: re-primes and must succeed.
+		}
+		r, err := br.Run()
+		if err != nil {
+			t.Fatalf("cell %d after recovery: %v", cell, err)
+		}
+		got[cell] = r
+		cell++
+	}
+	if corrupted == 0 {
+		t.Fatal("plan produced no forked restore to corrupt — test shape broken")
+	}
+
+	// The full pass, corruption and recovery included, must match a clean
+	// oracle pass cell for cell.
+	oracle, err := h.NewArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obr := oracle.NewBatchRun(p)
+	cell = 0
+	for obr.Next() {
+		want, err := obr.RunOracle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[cell] != want {
+			t.Errorf("cell %d diverged after corruption recovery: got %+v, want %+v", cell, got[cell], want)
+		}
+		cell++
+	}
+}
+
+// TestIntegritySumCatchesModeFlip: the spot-check checksum must flip when
+// corruptState flips the operating mode — the corruption CorruptNextRestore
+// injects.
+func TestIntegritySumCatchesModeFlip(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.NewArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.resetForRegime(EnforceNone); err != nil {
+		t.Fatal(err)
+	}
+	before := a.integritySum()
+	a.corruptState()
+	if after := a.integritySum(); after == before {
+		t.Fatalf("integritySum unchanged by mode corruption (%#x)", before)
+	}
+	if a.car.Mode() != car.ModeFailSafe {
+		t.Fatalf("corruptState left mode %v", a.car.Mode())
+	}
+}

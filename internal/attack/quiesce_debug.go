@@ -1,0 +1,14 @@
+//go:build chaosdebug
+
+package attack
+
+// guardQuiescent is the debug-build variant: a violated capture precondition
+// panics at the violation point (the pre-supervisor behaviour), so the stack
+// trace names the scenario prefix that left events queued instead of the
+// supervisor's quarantine ledger absorbing it.
+func (a *Arena) guardQuiescent() error {
+	if !a.car.Quiescent() {
+		panic(ErrNotQuiescent)
+	}
+	return nil
+}

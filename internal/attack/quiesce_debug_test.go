@@ -1,0 +1,34 @@
+//go:build chaosdebug
+
+package attack
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCaptureNotQuiescentPanicsUnderDebug: with the chaosdebug tag the
+// quiescence guard panics instead of returning the typed error, so an
+// illegal capture is loud at its call site rather than quarantined.
+func TestCaptureNotQuiescentPanicsUnderDebug(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := h.NewArena()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.resetForRegime(EnforceHPE); err != nil {
+		t.Fatal(err)
+	}
+	a.car.StartTraffic(time.Millisecond, 10*time.Millisecond, 42)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-quiescent capture did not panic under chaosdebug")
+		}
+		a.car.Scheduler().Run()
+	}()
+	var ck checkpoint
+	_ = a.capture(&ck, EnforceHPE)
+}

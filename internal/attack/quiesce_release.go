@@ -1,0 +1,14 @@
+//go:build !chaosdebug
+
+package attack
+
+// guardQuiescent turns a violated capture precondition into the typed
+// ErrNotQuiescent the sweep supervisor quarantines. The chaosdebug build tag
+// swaps in the original hard panic (see quiesce_debug.go) for interactive
+// debugging, where a stack trace at the violation point beats containment.
+func (a *Arena) guardQuiescent() error {
+	if !a.car.Quiescent() {
+		return ErrNotQuiescent
+	}
+	return nil
+}

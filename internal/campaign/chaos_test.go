@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+)
+
+// chaosPlan is the shared fault mix of the supervisor property tests: every
+// fault kind armed at rates high enough that a 6-vehicle sweep of the
+// determinism campaign reliably hits each class.
+func chaosPlan() *chaos.Plan {
+	return &chaos.Plan{Seed: 77, Panic: 0.03, Corrupt: 0.03, Deadline: 0.02, Crash: 0.01}
+}
+
+// stripHealth drops the health line so the payload halves of two reports can
+// be compared independently of their containment ledgers.
+func stripHealth(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.HasPrefix(line, "health: ") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestChaosSweepPayloadMatchesFaultFree is the tentpole property: a sweep
+// whose injected faults are all recovered by the supervisor (default
+// persist=1, so every retry clears its fault) renders a payload report
+// byte-identical to the fault-free oracle — only the health line may differ.
+// Checked across worker counts and both pooling modes.
+func TestChaosSweepPayloadMatchesFaultFree(t *testing.T) {
+	plan := determinismPlan(t)
+	clean, err := Sweep(plan, SweepConfig{Fleet: 6, Workers: 1, RootSeed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Health.IsZero() || clean.HealthEnabled {
+		t.Fatalf("fault-free sweep carries health state: %+v", clean.Health)
+	}
+	cleanPayload := stripHealth(clean.String())
+
+	for _, fresh := range []bool{false, true} {
+		for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			rep, err := Sweep(plan, SweepConfig{
+				Fleet: 6, Workers: w, RootSeed: 1234,
+				FreshVehicles: fresh, Chaos: chaosPlan(),
+			})
+			if err != nil {
+				t.Fatalf("fresh=%v workers=%d: %v", fresh, w, err)
+			}
+			if rep.Health.IsZero() {
+				t.Fatalf("fresh=%v workers=%d: chaos sweep contained nothing — rates too low for the shape", fresh, w)
+			}
+			if got := stripHealth(rep.String()); got != cleanPayload {
+				t.Errorf("fresh=%v workers=%d: chaos payload diverged from fault-free oracle\n--- fault-free\n%s\n--- chaos\n%s",
+					fresh, w, cleanPayload, got)
+			}
+		}
+	}
+}
+
+// TestChaosHealthDeterministicAcrossWorkers: the full report — health line
+// included — must not change with the worker count, within each pooling
+// mode. (Pooled and fresh ledgers may legitimately differ: checkpoint
+// corruption only exists on the pooled batched path.)
+func TestChaosHealthDeterministicAcrossWorkers(t *testing.T) {
+	plan := determinismPlan(t)
+	for _, fresh := range []bool{false, true} {
+		base, err := Sweep(plan, SweepConfig{
+			Fleet: 6, Workers: 1, RootSeed: 1234,
+			FreshVehicles: fresh, Chaos: chaosPlan(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+			rep, err := Sweep(plan, SweepConfig{
+				Fleet: 6, Workers: w, RootSeed: 1234,
+				FreshVehicles: fresh, Chaos: chaosPlan(),
+			})
+			if err != nil {
+				t.Fatalf("fresh=%v workers=%d: %v", fresh, w, err)
+			}
+			if rep.String() != base.String() {
+				t.Errorf("fresh=%v: report (health included) differs between workers=1 and workers=%d\n--- w=1\n%s--- w=%d\n%s",
+					fresh, w, base, w, rep)
+			}
+		}
+	}
+}
+
+// TestChaosDemotionFallsBackToOracle: faults that outlive the batched retry
+// budget (persist = MaxRetries+1) demote their cells to the oracle path,
+// which clears them — the sweep completes with demotions booked and the
+// payload still byte-identical to the fault-free run.
+func TestChaosDemotionFallsBackToOracle(t *testing.T) {
+	plan := determinismPlan(t)
+	const retries = 2
+	clean, err := Sweep(plan, SweepConfig{Fleet: 4, Workers: 1, RootSeed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sweep(plan, SweepConfig{
+		Fleet: 4, Workers: 2, RootSeed: 99, MaxRetries: retries,
+		Chaos: &chaos.Plan{Seed: 5, Panic: 0.02, Persist: retries + 1},
+	})
+	if err != nil {
+		t.Fatalf("demotion sweep failed — oracle fallback did not clear persistent faults: %v", err)
+	}
+	if rep.Health.CellDemotions == 0 || rep.Health.VehicleDemotions == 0 {
+		t.Fatalf("no demotions booked: %+v", rep.Health)
+	}
+	if rep.Health.Unrecoverable != 0 {
+		t.Fatalf("demoted cells reported unrecoverable: %+v", rep.Health)
+	}
+	if got := stripHealth(rep.String()); got != stripHealth(clean.String()) {
+		t.Errorf("payload diverged through demotion:\n--- fault-free\n%s\n--- demoted\n%s", clean, got)
+	}
+}
+
+// TestChaosUnrecoverableReturnsPartialReport: a fault that persists through
+// every rung (batched retries, oracle demotion, oracle retries) fails the
+// sweep — but the error arrives alongside a partial report whose Health
+// ledger records the unrecoverable cells.
+func TestChaosUnrecoverableReturnsPartialReport(t *testing.T) {
+	plan := determinismPlan(t)
+	rep, err := Sweep(plan, SweepConfig{
+		Fleet: 3, Workers: 2, RootSeed: 7,
+		Chaos: &chaos.Plan{Seed: 5, Panic: 1, Persist: 99},
+	})
+	if err == nil {
+		t.Fatal("sweep with unrecoverable faults returned nil error")
+	}
+	if !errors.Is(err, engine.ErrUnrecoverable) {
+		t.Fatalf("error %v does not wrap engine.ErrUnrecoverable", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report alongside the unrecoverable error")
+	}
+	if rep.Health.Unrecoverable == 0 {
+		t.Fatalf("partial report books no unrecoverable cells: %+v", rep.Health)
+	}
+	if !strings.Contains(rep.String(), "unrecoverable=") {
+		t.Errorf("partial report renders no health line:\n%s", rep)
+	}
+}
+
+// TestVerifySampleCleanRun: full-rate inline verification on a healthy sweep
+// samples every forked cell, finds zero mismatches, and leaves the payload
+// byte-identical to the unsampled run.
+func TestVerifySampleCleanRun(t *testing.T) {
+	plan := determinismPlan(t)
+	clean, err := Sweep(plan, SweepConfig{Fleet: 4, Workers: 1, RootSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Sweep(plan, SweepConfig{Fleet: 4, Workers: 2, RootSeed: 42, VerifySample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Health.VerifySamples == 0 {
+		t.Fatal("verify-sample 1.0 sampled nothing")
+	}
+	if rep.Health.VerifyMismatches != 0 {
+		t.Fatalf("healthy batched path diverged from its oracle: %+v", rep.Health)
+	}
+	if !rep.HealthEnabled {
+		t.Error("verify sampling did not arm the health section")
+	}
+	if got := stripHealth(rep.String()); got != stripHealth(clean.String()) {
+		t.Errorf("verified payload diverged:\n--- clean\n%s\n--- verified\n%s", clean, got)
+	}
+}

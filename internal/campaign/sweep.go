@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/chaos"
 	"repro/internal/engine"
 )
 
@@ -32,6 +33,13 @@ type SweepConfig struct {
 	// the default batched one (prefix checkpointing + cross-vehicle
 	// memoisation); both render byte-identical reports.
 	NoBatch bool
+	// Chaos arms the engine's deterministic fault injection (nil: none).
+	Chaos *chaos.Plan
+	// VerifySample cross-checks this fraction of batched cells against the
+	// cell-by-cell oracle inline (0: no sampling).
+	VerifySample float64
+	// MaxRetries bounds the supervisor's per-rung retry budget (default 2).
+	MaxRetries int
 }
 
 // FamilyReport is one family's fleet-merged outcome.
@@ -71,6 +79,11 @@ type CampaignReport struct {
 	// Totals folds every family's aggregates per regime, ordered by first
 	// appearance across the campaign.
 	Totals []attack.RegimeSummary
+	// Health is the sweep supervisor's fleet-folded containment ledger;
+	// HealthEnabled forces its line to render even when all-zero (set when
+	// chaos injection or verify sampling was armed).
+	Health        engine.Health
+	HealthEnabled bool
 }
 
 // Sweep executes the plan on the fleet engine in one vehicle-major pass: the
@@ -121,10 +134,24 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 		Harness:        h,
 		SkipMAC:        true,
 		NoBatch:        cfg.NoBatch,
+		Chaos:          cfg.Chaos,
+		VerifySample:   cfg.VerifySample,
+		MaxRetries:     cfg.MaxRetries,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)
+		// An unrecoverable sweep still merges what completed: fold the
+		// partial fleet report (with its Health ledger, which records the
+		// unrecoverable cells) so callers can flush it alongside the error.
+		if fr == nil {
+			return nil, fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)
+		}
+		return foldReport(plan, cfg, fr), fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)
 	}
+	return foldReport(plan, cfg, fr), nil
+}
+
+// foldReport folds a (possibly partial) fleet report into the campaign view.
+func foldReport(plan *Plan, cfg SweepConfig, fr *engine.FleetReport) *CampaignReport {
 	rep := &CampaignReport{
 		Campaign:            plan.Spec.Name,
 		Version:             plan.Spec.Version,
@@ -136,6 +163,8 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 		FramesDelivered:     fr.FramesDelivered,
 		BusErrors:           fr.BusErrors,
 		MeanUtilisation:     fr.MeanUtilisation,
+		Health:              fr.Health,
+		HealthEnabled:       fr.HealthEnabled,
 	}
 	for fi := range plan.Families {
 		fam := &plan.Families[fi]
@@ -149,7 +178,7 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 			rep.fold(rs)
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // fold merges one regime aggregate into the campaign totals, keyed by
@@ -173,6 +202,9 @@ func (r *CampaignReport) String() string {
 		r.Campaign, r.Version, r.Seed, r.Fleet, r.RootSeed, r.ScenariosPerVehicle, r.Cells)
 	fmt.Fprintf(&b, "live: delivered=%d errors=%d mean-util=%.4f%%\n",
 		r.FramesDelivered, r.BusErrors, r.MeanUtilisation*100)
+	if r.HealthEnabled || !r.Health.IsZero() {
+		fmt.Fprintf(&b, "health: %s\n", r.Health)
+	}
 	for i := range r.Families {
 		f := &r.Families[i]
 		fmt.Fprintf(&b, "family %s (%s): %d scenarios/vehicle\n", f.Name, f.Kind, f.Scenarios)

@@ -115,6 +115,26 @@ type BusSnapshot struct {
 	nodes    []NodeSnapshot // index-aligned with the pristine set
 }
 
+// Quiescent reports whether the bus satisfies Snapshot's preconditions: no
+// in-flight transmission, no armed arbitration round, no pending
+// transmitters, the pristine topology and every pristine node's transmit
+// queue empty. It is the cheap probe the attack arena uses to turn the
+// Snapshot panics into a recoverable ErrNotQuiescent.
+func (b *Bus) Quiescent() bool {
+	if b.busy || b.kickArmed || len(b.txPending) != 0 {
+		return false
+	}
+	if len(b.nodes) != len(b.pristine) {
+		return false
+	}
+	for _, n := range b.pristine {
+		if len(n.txq) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Snapshot captures the bus's state into dst for a later RestoreFrom. The
 // bus must be quiescent (no in-flight transmission, no armed arbitration
 // round, no pending transmitters) and carry exactly its pristine topology —

@@ -183,6 +183,12 @@ type Snapshot struct {
 	state State
 }
 
+// Quiescent reports whether the car satisfies Snapshot's preconditions: the
+// scheduler drained and the bus idle with its pristine topology. The attack
+// arena probes it before capturing so a violated prefix contract surfaces as
+// a typed error the sweep supervisor can quarantine, not a process panic.
+func (c *Car) Quiescent() bool { return c.sched.Quiescent() && c.bus.Quiescent() }
+
 // Snapshot captures the car's state into dst for a later RestoreFrom. The
 // car must be quiescent: the scheduler drained (Scheduler().Run() returned)
 // and the bus idle with its pristine topology — the state any scenario

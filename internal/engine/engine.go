@@ -49,6 +49,23 @@
 // what order vehicles are scheduled. Reports are merged in vehicle-index
 // order; two runs with the same Config produce byte-identical rendered
 // reports whatever the worker count, with or without pooling.
+//
+// # Failure containment
+//
+// All cell execution runs under a supervisor (supervisor.go): a cell that
+// panics, fails its arena integrity checksum, overruns its virtual-time
+// budget or hits a non-quiescent capture is quarantined and retried (up to
+// Config.MaxRetries, rebuilding the pooled arena where the failure class
+// demands it); a cell that exhausts its batched retries demotes the rest of
+// the vehicle's visit to the cell-by-cell oracle; only a cell failing every
+// rung makes Run return an error — and even then Run returns the merged
+// partial report alongside it. Config.Chaos arms deterministic fault
+// injection (internal/chaos) for drilling these paths, and
+// Config.VerifySample cross-checks a deterministic fraction of batched
+// cells against the oracle inline. Containment history accumulates in the
+// report's Health ledger, itself a pure function of the config — arming
+// chaos or sampling disables cross-vehicle memoisation so every vehicle
+// really executes its cells. See DESIGN.md §11.
 package engine
 
 import (
@@ -61,6 +78,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/car"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/hpe"
 	"repro/internal/mac"
@@ -141,6 +159,29 @@ type Config struct {
 	// survives as the reference the equivalence tests and the CI batched
 	// smoke job compare against.
 	NoBatch bool
+	// Chaos optionally arms deterministic fault injection: the plan decides,
+	// as a pure function of (vehicle, group, regime, scenario, attempt)
+	// coordinates, which cells panic, corrupt their checkpoint restore,
+	// overrun their deadline, or crash the whole vehicle visit. An active
+	// plan disables cross-vehicle memoisation so every vehicle actually
+	// executes its cells. Nil means no injection (the supervisor still
+	// contains organic failures).
+	Chaos *chaos.Plan
+	// VerifySample, when positive, cross-checks that deterministic fraction
+	// of batched (checkpoint-forked) cells against the cell-by-cell oracle
+	// inline. A mismatch is booked in the Health ledger, demotes the vehicle
+	// to the oracle path, and the oracle's result stands. Like Chaos, a
+	// non-zero sample rate disables memoisation.
+	VerifySample float64
+	// MaxRetries bounds the supervisor's retry budget per rung: a failing
+	// cell gets MaxRetries batched retries, then (demoted) MaxRetries oracle
+	// retries; a crashing vehicle visit gets MaxRetries re-runs. Default 2.
+	MaxRetries int
+	// CellTimeBudget is the virtual-clock watchdog: a cell that leaves the
+	// simulated clock past this budget is quarantined as a deadline overrun.
+	// Virtual time, not wall time — healthy cells finish in simulated
+	// milliseconds. Default 1 minute.
+	CellTimeBudget time.Duration
 }
 
 func (c *Config) applyDefaults() error {
@@ -216,6 +257,9 @@ type shared struct {
 	// plans holds one prefix-bucketed batch plan per group (nil when
 	// Config.NoBatch): plans are immutable, so all workers share them.
 	plans []*attack.BatchPlan
+	// sup is the resolved supervision configuration (chaos plan, verify
+	// sampling, retry budget, deadline budget) every worker consults.
+	sup supervisorCfg
 }
 
 // vehicleMemo caches the parts of one worker's first fully-computed vehicle
@@ -271,6 +315,19 @@ func Run(cfg Config) (*FleetReport, error) {
 		}
 	}
 	sh := &shared{cfg: cfg, harness: h}
+	sh.sup = supervisorCfg{
+		plan:       cfg.Chaos,
+		verify:     cfg.VerifySample,
+		verifySeed: cfg.RootSeed,
+		maxRetries: cfg.MaxRetries,
+		timeBudget: cfg.CellTimeBudget,
+	}
+	if sh.sup.maxRetries <= 0 {
+		sh.sup.maxRetries = defaultMaxRetries
+	}
+	if sh.sup.timeBudget <= 0 {
+		sh.sup.timeBudget = defaultTimeBudget
+	}
 	if !cfg.NoBatch {
 		sh.plans = make([]*attack.BatchPlan, len(cfg.Groups))
 		for gi := range cfg.Groups {
@@ -325,7 +382,11 @@ func Run(cfg Config) (*FleetReport, error) {
 				}
 			}
 			var memo *vehicleMemo
-			if !cfg.NoBatch {
+			// Memoisation is off whenever supervision is armed: memoised
+			// vehicles execute no cells, which would both dodge their
+			// injected faults and leave the Health ledger dependent on
+			// which vehicles each worker happened to compute first.
+			if !cfg.NoBatch && !sh.sup.chaotic() {
 				memo = &vehicleMemo{}
 			}
 			for {
@@ -343,7 +404,10 @@ func Run(cfg Config) (*FleetReport, error) {
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
-		return nil, err
+		// Unrecoverable vehicles surface as an error, but the sweep still
+		// merges what every vehicle did complete: callers flush the partial
+		// fleet report (with its Health ledger) alongside the failure.
+		return merge(cfg, reports), err
 	}
 	return merge(cfg, reports), nil
 }
@@ -375,14 +439,38 @@ func newArena(sh *shared) (*arena, error) {
 
 // runVehicle is the pooled counterpart of the package-level runVehicle:
 // identical phases, identical outcomes, zero reconstruction. One call is one
-// vehicle *visit*: the live phase once, then every scenario group back to
-// back on the same warm arena — cross-group isolation rests on the arena's
-// reset-equals-fresh contract, which resets the vehicle per cell. A non-nil
-// memo (the batched default) reuses the worker's first vehicle's
-// seed-invariant phases for every later one.
+// supervised vehicle *visit*: the live phase once, then every scenario
+// group's cells back to back on the same warm arena, each cell behind the
+// supervisor's containment ladder — cross-group isolation rests on the
+// arena's reset-equals-fresh contract, which resets the vehicle per cell. A
+// non-nil memo (the batched, unsupervised default) reuses the worker's first
+// vehicle's seed-invariant phases for every later one. A crash (injected or
+// organic panic at visit scope) rebuilds the worker's arena and re-runs the
+// vehicle.
 func (a *arena) runVehicle(sh *shared, index int, memo *vehicleMemo) (VehicleReport, error) {
+	return superviseVisit(&sh.sup,
+		func(attempt int, h *Health) (VehicleReport, error) {
+			return a.visit(sh, index, memo, attempt, h)
+		},
+		func() error {
+			na, err := newArena(sh)
+			if err != nil {
+				return err
+			}
+			*a = *na
+			return nil
+		})
+}
+
+// visit is one attempt of one pooled vehicle visit.
+func (a *arena) visit(sh *shared, index int, memo *vehicleMemo, attempt int, h *Health) (rep VehicleReport, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: vehicle %d: %v", ErrVehicleCrash, index, p)
+		}
+	}()
 	seed := VehicleSeed(sh.cfg.Groups[0].RootSeed, index)
-	rep := VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
+	rep = VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
 
 	// Live background simulation on the reset vehicle with re-provisioned
 	// pooled engines.
@@ -390,9 +478,9 @@ func (a *arena) runVehicle(sh *shared, index int, memo *vehicleMemo) (VehicleRep
 		if memo != nil && memo.liveOK {
 			copyLive(&rep, &memo.live)
 		} else {
-			c, err := a.att.StartLive(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
-			if err != nil {
-				return rep, err
+			c, lerr := a.att.StartLive(car.Config{Seed: seed, ErrorRate: sh.cfg.ErrorRate})
+			if lerr != nil {
+				return rep, lerr
 			}
 			c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)
 			c.Scheduler().Run()
@@ -419,27 +507,35 @@ func (a *arena) runVehicle(sh *shared, index int, memo *vehicleMemo) (VehicleRep
 	}
 
 	// Every group's scenario×regime block on the pooled vehicle, reseeded
-	// per group so each block is a pure function of (group root, index).
+	// per group so each block is a pure function of (group root, index),
+	// every cell supervised. The demotion latch spans the visit: once any
+	// cell falls back to the oracle, the rest of the vehicle follows.
 	rep.Groups = make([][]attack.RegimeSummary, len(sh.cfg.Groups))
 	if memo != nil && memo.attacksOK {
 		for gi := range memo.attacks {
 			rep.Groups[gi] = append([]attack.RegimeSummary(nil), memo.attacks[gi]...)
 		}
 	} else {
+		var demoted bool
 		for gi := range sh.cfg.Groups {
 			g := &sh.cfg.Groups[gi]
-			a.att.SetSeed(VehicleSeed(g.RootSeed, index))
-			var sums []attack.RegimeSummary
-			var err error
+			if sh.sup.plan.CrashFault(index, gi, attempt) {
+				panic(&chaos.InjectedCrash{Vehicle: index, Group: gi, Attempt: attempt})
+			}
+			gseed := VehicleSeed(g.RootSeed, index)
+			a.att.SetSeed(gseed)
+			e := &cellExec{
+				sup: &sh.sup, health: h, sh: sh, owner: a,
+				vehicle: index, group: gi, seed: gseed, demoted: &demoted,
+			}
 			if sh.plans != nil {
-				sums, err = a.att.RunSummariesBatched(sh.plans[gi])
-			} else {
-				sums, err = a.att.RunSummaries(g.Scenarios, g.Regimes...)
+				e.br = a.att.NewBatchRun(sh.plans[gi])
 			}
-			if err != nil {
-				return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, err)
-			}
+			sums, gerr := runGroupCells(e, g)
 			rep.Groups[gi] = sums
+			if gerr != nil {
+				return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, gerr)
+			}
 		}
 		memoizeAttacks(memo, rep.Groups)
 	}
@@ -477,12 +573,27 @@ func copyLive(dst, src *VehicleReport) {
 // background simulation with a provisioned HPE stack, the MAC
 // least-privilege probe, and every scenario group's attack sweep (each cell
 // on a freshly constructed car — the reference path pooled runs are
-// compared against). The memo behaves exactly as in the pooled variant; the
-// first vehicle a worker computes still runs cell by cell on fresh cars, so
-// fresh batched runs exercise no checkpointing, only memo reuse.
+// compared against), every cell supervised. The memo behaves exactly as in
+// the pooled variant; the first vehicle a worker computes still runs cell by
+// cell on fresh cars, so fresh batched runs exercise no checkpointing, only
+// memo reuse. Fresh visits have no worker stack to rebuild, so a crash
+// retry simply re-runs the vehicle.
 func runVehicle(sh *shared, index int, memo *vehicleMemo) (VehicleReport, error) {
+	return superviseVisit(&sh.sup,
+		func(attempt int, h *Health) (VehicleReport, error) {
+			return visitFresh(sh, index, memo, attempt, h)
+		}, nil)
+}
+
+// visitFresh is one attempt of one fresh-construction vehicle visit.
+func visitFresh(sh *shared, index int, memo *vehicleMemo, attempt int, h *Health) (rep VehicleReport, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: vehicle %d: %v", ErrVehicleCrash, index, p)
+		}
+	}()
 	seed := VehicleSeed(sh.cfg.Groups[0].RootSeed, index)
-	rep := VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
+	rep = VehicleReport{Index: index, VIN: VIN(index), Seed: seed}
 
 	// Live background simulation: this vehicle's own scheduler, bus, car and
 	// deployed policy engines, driven over the configured horizon.
@@ -526,20 +637,30 @@ func runVehicle(sh *shared, index int, memo *vehicleMemo) (VehicleReport, error)
 	}
 
 	// Every group's scenario×regime sweep, seeded per group with this
-	// vehicle's group-derived seed.
+	// vehicle's group-derived seed, every cell supervised on its own fresh
+	// car.
 	rep.Groups = make([][]attack.RegimeSummary, len(sh.cfg.Groups))
 	if memo != nil && memo.attacksOK {
 		for gi := range memo.attacks {
 			rep.Groups[gi] = append([]attack.RegimeSummary(nil), memo.attacks[gi]...)
 		}
 	} else {
+		var demoted bool
 		for gi := range sh.cfg.Groups {
 			g := &sh.cfg.Groups[gi]
-			sums, err := sh.harness.WithSeed(VehicleSeed(g.RootSeed, index)).RunSummaries(g.Scenarios, g.Regimes...)
-			if err != nil {
-				return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, err)
+			if sh.sup.plan.CrashFault(index, gi, attempt) {
+				panic(&chaos.InjectedCrash{Vehicle: index, Group: gi, Attempt: attempt})
 			}
+			gseed := VehicleSeed(g.RootSeed, index)
+			e := &cellExec{
+				sup: &sh.sup, health: h, sh: sh, hv: sh.harness.WithSeed(gseed),
+				vehicle: index, group: gi, seed: gseed, demoted: &demoted,
+			}
+			sums, gerr := runGroupCells(e, g)
 			rep.Groups[gi] = sums
+			if gerr != nil {
+				return rep, fmt.Errorf("group %d (%q): %w", gi, g.Name, gerr)
+			}
 		}
 		memoizeAttacks(memo, rep.Groups)
 	}
@@ -624,8 +745,10 @@ func merge(cfg Config, vehicles []VehicleReport) *FleetReport {
 			fr.Groups[gi].Regimes[ri].Regime = enf
 		}
 	}
+	fr.HealthEnabled = cfg.Chaos.Active() || cfg.VerifySample > 0
 	var utilSum float64
 	for _, v := range vehicles {
+		fr.Health.Merge(v.Health)
 		fr.FramesDelivered += v.FramesDelivered
 		fr.BusErrors += v.BusErrors
 		fr.WriteBlocked += v.WriteBlocked

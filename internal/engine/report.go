@@ -37,6 +37,10 @@ type VehicleReport struct {
 	// MACChecks and MACAllowed count the least-privilege probe outcomes.
 	MACChecks  int
 	MACAllowed int
+	// Health is the vehicle's containment ledger: every quarantine, retry,
+	// demotion and verification event of the supervised visit (zero on the
+	// unsupervised fast path).
+	Health Health
 }
 
 // GroupReport is one scenario group's fleet-merged outcome: per-regime
@@ -76,6 +80,12 @@ type FleetReport struct {
 	// MACChecks and MACAllowed total the least-privilege probe outcomes.
 	MACChecks  int
 	MACAllowed int
+	// Health folds every vehicle's containment ledger; HealthEnabled records
+	// whether supervision was explicitly armed (chaos injection or verify
+	// sampling), which forces the health line to render even when the ledger
+	// is all zeros — a chaos run that contained nothing should say so.
+	Health        Health
+	HealthEnabled bool
 }
 
 // String renders the fleet report deterministically: same Config and
@@ -88,6 +98,9 @@ func (r *FleetReport) String() string {
 		r.FramesDelivered, r.BusErrors, r.WriteBlocked, r.ReadBlocked, r.AbortedTx,
 		r.MeanUtilisation*100)
 	fmt.Fprintf(&b, "mac: checks=%d allowed=%d\n", r.MACChecks, r.MACAllowed)
+	if r.HealthEnabled || !r.Health.IsZero() {
+		fmt.Fprintf(&b, "health: %s\n", r.Health)
+	}
 	for _, rs := range r.Attacks {
 		fmt.Fprintf(&b, "attacks[%s]: %s success=%.1f%% blocked=%.1f%%\n",
 			rs.Regime, rs.Summary, rs.Summary.SuccessRate()*100, rs.Summary.BlockRate()*100)

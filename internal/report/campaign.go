@@ -16,8 +16,12 @@ func CampaignView(r *campaign.CampaignReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Campaign %q v%d (seed %#x) — fleet %d, root seed %#x\n",
 		r.Campaign, r.Version, r.Seed, r.Fleet, r.RootSeed)
-	fmt.Fprintf(&b, "%d scenarios/vehicle, %d cells swept; live: delivered=%d errors=%d mean-util=%.4f%%\n\n",
+	fmt.Fprintf(&b, "%d scenarios/vehicle, %d cells swept; live: delivered=%d errors=%d mean-util=%.4f%%\n",
 		r.ScenariosPerVehicle, r.Cells, r.FramesDelivered, r.BusErrors, r.MeanUtilisation*100)
+	if r.HealthEnabled || !r.Health.IsZero() {
+		fmt.Fprintf(&b, "health: %s\n", r.Health)
+	}
+	b.WriteByte('\n')
 
 	t := NewTable(
 		Column{Header: "Family"},

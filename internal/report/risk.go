@@ -14,8 +14,12 @@ import (
 // and pooled/fresh sweeps.
 func RiskView(p *risk.Profile) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Risk profile of %q — campaign %q v%d (seed %#x, root seed %#x, fleet %d, %d cells)\n\n",
+	fmt.Fprintf(&b, "Risk profile of %q — campaign %q v%d (seed %#x, root seed %#x, fleet %d, %d cells)\n",
 		p.Model, p.Campaign, p.Version, p.Seed, p.RootSeed, p.Fleet, p.Cells)
+	if p.HealthEnabled || !p.Health.IsZero() {
+		fmt.Fprintf(&b, "health: %s\n", p.Health)
+	}
+	b.WriteByte('\n')
 
 	ranked := NewTable(
 		Column{Header: "#", Align: Right},

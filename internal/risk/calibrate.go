@@ -8,6 +8,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/dread"
+	"repro/internal/engine"
 	"repro/internal/stride"
 	"repro/internal/threatmodel"
 )
@@ -107,6 +108,11 @@ type Profile struct {
 	Threats []ThreatCalibration
 	// Uncovered lists analysis threats that synthesized no family, sorted.
 	Uncovered []string
+	// Health echoes the sweep's containment ledger — evidence provenance: a
+	// profile calibrated from a sweep that quarantined cells says so.
+	// HealthEnabled forces its line even when all-zero.
+	Health        engine.Health
+	HealthEnabled bool
 }
 
 // roleKinds maps synthesis roles to the generator kind they must carry —
@@ -156,13 +162,15 @@ func Calibrate(a *threatmodel.Analysis, rep *campaign.CampaignReport) (*Profile,
 	}
 
 	p := &Profile{
-		Model:    a.UseCase.Name,
-		Campaign: rep.Campaign,
-		Version:  rep.Version,
-		Seed:     rep.Seed,
-		RootSeed: rep.RootSeed,
-		Fleet:    rep.Fleet,
-		Cells:    rep.Cells,
+		Model:         a.UseCase.Name,
+		Campaign:      rep.Campaign,
+		Version:       rep.Version,
+		Seed:          rep.Seed,
+		RootSeed:      rep.RootSeed,
+		Fleet:         rep.Fleet,
+		Cells:         rep.Cells,
+		Health:        rep.Health,
+		HealthEnabled: rep.HealthEnabled,
 	}
 	for _, id := range order {
 		tc := byID[id]
@@ -326,6 +334,9 @@ func (p *Profile) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "risk profile of %q — campaign %q v%d seed %#x, root seed %#x, fleet %d, %d cells\n",
 		p.Model, p.Campaign, p.Version, p.Seed, p.RootSeed, p.Fleet, p.Cells)
+	if p.HealthEnabled || !p.Health.IsZero() {
+		fmt.Fprintf(&b, "health: %s\n", p.Health)
+	}
 	for i := range p.Threats {
 		tc := &p.Threats[i]
 		fmt.Fprintf(&b, "%2d. %-8s [%s] rubric %s -> measured %s (%s -> %s) delta %s residual %.2f\n",

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/car"
+	"repro/internal/chaos"
 	"repro/internal/threatmodel"
 )
 
@@ -134,6 +135,13 @@ type RunConfig struct {
 	// NoBatch selects the engine's cell-by-cell oracle executor instead of
 	// the default batched one; the profile is byte-identical either way.
 	NoBatch bool
+	// Chaos arms the sweep supervisor's deterministic fault injection.
+	Chaos *chaos.Plan
+	// VerifySample cross-checks this fraction of batched cells against the
+	// cell-by-cell oracle inline.
+	VerifySample float64
+	// MaxRetries bounds the supervisor's per-rung retry budget (default 2).
+	MaxRetries int
 }
 
 // Outcome bundles every artifact of one risk run.
@@ -198,15 +206,22 @@ func Run(sp *Spec, rc RunConfig) (*Outcome, error) {
 		RootSeed:      root,
 		FreshVehicles: rc.FreshVehicles,
 		NoBatch:       rc.NoBatch,
+		Chaos:         rc.Chaos,
+		VerifySample:  rc.VerifySample,
+		MaxRetries:    rc.MaxRetries,
 	})
+	out.Report = rep
 	if err != nil {
-		return nil, err
+		// An unrecoverable sweep still yields the partial campaign report
+		// (Health ledger included); the profile is not calibrated — scoring
+		// DREAD deltas from an incomplete sweep would present partial block
+		// rates as measurements.
+		return out, err
 	}
 	prof, err := Calibrate(out.Analysis, rep)
 	if err != nil {
-		return nil, err
+		return out, err
 	}
-	out.Report = rep
 	out.Profile = prof
 	return out, nil
 }

@@ -279,6 +279,11 @@ type SchedulerSnapshot struct {
 	Steps uint64
 }
 
+// Quiescent reports whether the scheduler is at a checkpointable instant:
+// every queued event drained (Run returned). It is the cheap probe callers
+// use to turn the Snapshot panic below into a recoverable error.
+func (s *Scheduler) Quiescent() bool { return len(s.heap) == 0 }
+
 // Snapshot captures the scheduler's counters for a later RestoreFrom. The
 // scheduler must be quiescent — every queued event drained (Run returned) —
 // because a checkpoint taken mid-schedule would need the heap and slot arena
