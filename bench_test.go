@@ -34,6 +34,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/mac"
 	"repro/internal/policy"
+	"repro/internal/policy/ir"
 	"repro/internal/report"
 	"repro/internal/risk"
 	"repro/internal/sim"
@@ -257,6 +258,40 @@ func BenchmarkAblationHPELookup(b *testing.B) {
 		for _, size := range []uint32{16, 256, 2048} {
 			b.Run(fmt.Sprintf("%s/%d", kind, size), func(b *testing.B) {
 				benchLookup(b, kind, size)
+			})
+		}
+	}
+}
+
+// BenchmarkHPELookup is the backend ablation (DESIGN.md §12): the same
+// allow-range policy compiled through every registered enforcement backend,
+// measured on the engine's Decide hot path with the worst-case identifier.
+// The table rows go through InstallEnforcer's unwrap onto the legacy atomic
+// table path, so they double as a regression guard for the re-homing.
+func BenchmarkHPELookup(b *testing.B) {
+	for _, backend := range ir.Names() {
+		for _, size := range []uint32{16, 256, 2048} {
+			b.Run(fmt.Sprintf("backend=%s/%d", backend, size), func(b *testing.B) {
+				set := &policy.Set{Name: "ablation", Version: 1, Rules: []policy.Rule{
+					{Subject: "n", Effect: policy.Allow, Action: policy.ActRead, IDs: policy.Span(0, size-1)},
+				}}
+				enf, err := ir.Build(set, policy.CompileOptions{
+					Subjects: []string{"n"}, Modes: []policy.Mode{"m"}, Backend: backend,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := hpe.New("n", hpe.FixedMode("m"), hpe.DefaultCycleModel())
+				if err := eng.InstallEnforcer(enf); err != nil {
+					b.Fatal(err)
+				}
+				hit := canbus.MustDataFrame(size-1, nil)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if eng.Decide(canbus.Read, hit) != canbus.Grant {
+						b.Fatal("lookup broken")
+					}
+				}
 			})
 		}
 	}
@@ -493,13 +528,19 @@ func loadCampaign(b *testing.B, path string) *campaign.Plan {
 // fleet-scale, one pass over the vehicles.
 func BenchmarkCampaignSweep(b *testing.B) {
 	cases := []struct {
-		name  string
-		path  string
-		fleet int
+		name    string
+		path    string
+		fleet   int
+		backend string
 	}{
-		{"lite/fleet=1000", "examples/campaigns/lite.campaign", 1000},
-		{"quickstart/fleet=100", "examples/campaigns/quickstart.campaign", 100},
-		{"quickstart/fleet=1000", "examples/campaigns/quickstart.campaign", 1000},
+		{"lite/fleet=1000", "examples/campaigns/lite.campaign", 1000, ""},
+		{"quickstart/fleet=100", "examples/campaigns/quickstart.campaign", 100, ""},
+		{"quickstart/fleet=1000", "examples/campaigns/quickstart.campaign", 1000, ""},
+		// Backend ablation at campaign scale: decision-equivalent reports,
+		// so only throughput may move between these rows.
+		{"quickstart/fleet=100/backend=table", "examples/campaigns/quickstart.campaign", 100, "table"},
+		{"quickstart/fleet=100/backend=expr", "examples/campaigns/quickstart.campaign", 100, "expr"},
+		{"quickstart/fleet=100/backend=closure", "examples/campaigns/quickstart.campaign", 100, "closure"},
 	}
 	for _, tc := range cases {
 		plan := loadCampaign(b, tc.path)
@@ -508,8 +549,9 @@ func BenchmarkCampaignSweep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var err error
 				rep, err = campaign.Sweep(plan, campaign.SweepConfig{
-					Fleet:    tc.fleet,
-					RootSeed: 42,
+					Fleet:         tc.fleet,
+					RootSeed:      42,
+					PolicyBackend: tc.backend,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -15,7 +15,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'FleetSweep|Fig2|CampaignSweep|RiskCalibrate' -benchmem -benchtime 20x . \
-//	  | benchgate -snapshot BENCH_5.json
+//	  | benchgate -snapshot BENCH_6.json
 //
 // The tool reads benchmark output on stdin. Sub-benchmark names are matched
 // after stripping the trailing -<GOMAXPROCS> suffix; benchmarks missing from
@@ -134,7 +134,7 @@ func printHealth(path string) {
 }
 
 func main() {
-	snapPath := flag.String("snapshot", "BENCH_5.json", "benchmark snapshot to compare against")
+	snapPath := flag.String("snapshot", "BENCH_6.json", "benchmark snapshot to compare against")
 	factor := flag.Float64("factor", 2.0, "fail when measured ns/op exceeds snapshot by this factor")
 	allocFactor := flag.Float64("alloc-factor", 2.0, "fail when measured allocs/op exceeds snapshot by this factor (needs -benchmem input)")
 	healthFile := flag.String("print-health", "", "echo the supervisor health counters of a carsim report file and exit (no gating)")

@@ -37,6 +37,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/hpe"
+	"repro/internal/policy/ir"
 	"repro/internal/report"
 	"repro/internal/risk"
 )
@@ -47,10 +48,12 @@ import (
 // "failed outright".
 var errPartialSweep = errors.New("sweep unrecoverable, partial report flushed")
 
-// supervision bundles the sweep supervisor's CLI-selectable knobs.
+// supervision bundles the sweep supervisor's CLI-selectable knobs plus the
+// policy backend the swept vehicles enforce with.
 type supervision struct {
-	plan   *chaos.Plan
-	verify float64
+	plan    *chaos.Plan
+	verify  float64
+	backend string
 }
 
 func main() {
@@ -72,6 +75,7 @@ func main() {
 	listScenarios := flag.Bool("list-scenarios", false, "with -campaign or -risk: dump the generated scenario matrix without running it")
 	chaosSpec := flag.String("chaos", "", "arm deterministic fault injection, e.g. \"seed=7,panic=0.01,corrupt=0.005,deadline=0.002,crash=0.001\" (\"off\" disables)")
 	verifySample := flag.Float64("verify-sample", 0, "cross-check this fraction of batched cells against the cell-by-cell oracle inline (0 disables)")
+	policyBackend := flag.String("policy-backend", "", "policy enforcement backend for swept vehicles: "+strings.Join(ir.Names(), ", ")+" (default table)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	flag.Parse()
@@ -85,7 +89,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "carsim: -verify-sample %v outside [0, 1]\n", *verifySample)
 		os.Exit(1)
 	}
-	sup := supervision{plan: plan, verify: *verifySample}
+	if _, err := ir.Lookup(*policyBackend); err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	sup := supervision{plan: plan, verify: *verifySample, backend: *policyBackend}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -190,7 +198,7 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency, -campaign, -risk, -fleet or -attack")
 	}
-	return runAttacks(attackSel, enforcement, trace)
+	return runAttacks(attackSel, enforcement, trace, sup.backend)
 }
 
 // runCampaign compiles a campaign spec and either lists its generated
@@ -225,6 +233,7 @@ func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64
 		NoBatch:       noBatch,
 		Chaos:         sup.plan,
 		VerifySample:  sup.verify,
+		PolicyBackend: sup.backend,
 	})
 	if err != nil {
 		if rep == nil {
@@ -298,6 +307,7 @@ func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, re
 		NoBatch:       noBatch,
 		Chaos:         sup.plan,
 		VerifySample:  sup.verify,
+		PolicyBackend: sup.backend,
 	})
 	if err != nil {
 		if out == nil || out.Report == nil {
@@ -341,6 +351,7 @@ func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse, no
 		NoBatch:       noBatch,
 		Chaos:         sup.plan,
 		VerifySample:  sup.verify,
+		PolicyBackend: sup.backend,
 	})
 	if err != nil {
 		if fr == nil {
@@ -425,12 +436,12 @@ func parseRegimes(s string) ([]attack.Enforcement, error) {
 	return out, nil
 }
 
-func runAttacks(sel, enforcement string, trace bool) error {
+func runAttacks(sel, enforcement string, trace bool, backend string) error {
 	regimes, err := parseRegimes(enforcement)
 	if err != nil {
 		return err
 	}
-	h, err := attack.NewHarness()
+	h, err := attack.NewHarnessBackend(backend)
 	if err != nil {
 		return err
 	}
@@ -469,7 +480,7 @@ func traceOne(sc attack.Scenario, enf attack.Enforcement, h *attack.Harness) err
 	c := car.MustNew(car.Config{})
 	c.Bus().SetTracer(func(e canbus.TraceEvent) { fmt.Println("   ", e) })
 	if enf == attack.EnforceHPE {
-		if _, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...); err != nil {
+		if _, err := h.DeployEngines(c.Bus(), c, car.AllNodes...); err != nil {
 			return err
 		}
 	}

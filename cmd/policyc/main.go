@@ -7,6 +7,10 @@
 //
 //	policyc -in policy.pol -check
 //	policyc -in policy.pol -compile -subjects EV-ECU,Sensors -modes Normal,FailSafe
+//	policyc -in policy.pol -compile -backend closure
+//	policyc -in policy.pol -emit rego      # transpile to Rego text
+//	policyc -in policy.pol -emit cel       # transpile to a CEL expression
+//	policyc -in policy.pol -emit jumptable # dump the closure backend's tables
 //	policyc -in policy.pol -sign -seed-file oem.seed -out bundle.json
 //	policyc -verify bundle.json -seed-file oem.seed
 //	policyc -table-i            # emit the connected-car policy derived from Table I
@@ -14,6 +18,7 @@ package main
 
 import (
 	"crypto/ed25519"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,14 +28,21 @@ import (
 	"repro/internal/car"
 	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/internal/policy/ir"
 )
+
+// usageError marks operator mistakes (unknown backend or emit format) that
+// exit 2 — distinguishing bad invocations from bad inputs, which exit 1.
+type usageError struct{ error }
 
 func main() {
 	in := flag.String("in", "", "input policy DSL file (default stdin)")
 	check := flag.Bool("check", false, "parse and validate only")
 	compile := flag.Bool("compile", false, "compile and print per-node approved lists")
-	subjects := flag.String("subjects", "", "comma-separated subjects for -compile")
-	modes := flag.String("modes", "", "comma-separated modes for -compile")
+	subjects := flag.String("subjects", "", "comma-separated subjects for -compile/-emit")
+	modes := flag.String("modes", "", "comma-separated modes for -compile/-emit")
+	backend := flag.String("backend", "", "enforcement backend for -compile: "+strings.Join(ir.Names(), ", ")+" (default table)")
+	emit := flag.String("emit", "", "export the compiled policy: rego, cel, or jumptable")
 	sign := flag.Bool("sign", false, "sign the policy into a bundle")
 	verify := flag.String("verify", "", "bundle file to verify")
 	seedFile := flag.String("seed-file", "", "32-byte ed25519 seed file for -sign/-verify")
@@ -39,13 +51,25 @@ func main() {
 	diffOld := flag.String("diff", "", "old policy file: print the semantic diff from it to -in and exit")
 	flag.Parse()
 
-	if err := run(*in, *check, *compile, *subjects, *modes, *sign, *verify, *seedFile, *out, *tableI, *diffOld); err != nil {
+	if err := run(*in, *check, *compile, *subjects, *modes, *backend, *emit, *sign, *verify, *seedFile, *out, *tableI, *diffOld); err != nil {
 		fmt.Fprintln(os.Stderr, "policyc:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(in string, check, compile bool, subjects, modes string, sign bool, verify, seedFile, out string, tableI bool, diffOld string) error {
+func run(in string, check, compile bool, subjects, modes, backend, emit string, sign bool, verify, seedFile, out string, tableI bool, diffOld string) error {
+	if _, err := ir.Lookup(backend); err != nil {
+		return usageError{fmt.Errorf("%w\nusage: -backend takes one of: %s", err, strings.Join(ir.Names(), ", "))}
+	}
+	switch emit {
+	case "", "rego", "cel", "jumptable":
+	default:
+		return usageError{fmt.Errorf("unknown -emit format %q\nusage: -emit takes one of: rego, cel, jumptable", emit)}
+	}
 	if tableI {
 		model, err := core.BuildModel(car.UseCase(), car.Threats(), "table-i", 1)
 		if err != nil {
@@ -84,11 +108,14 @@ func run(in string, check, compile bool, subjects, modes string, sign bool, veri
 			diffOld, oldSet.Version, set.Version, d.String())
 		return nil
 	}
+	if emit != "" {
+		return emitPolicy(os.Stdout, set, subjects, modes, emit)
+	}
 	if check && !compile && !sign {
 		return nil
 	}
 	if compile {
-		if err := compileAndPrint(set, subjects, modes); err != nil {
+		if err := compileAndPrint(set, subjects, modes, backend); err != nil {
 			return err
 		}
 	}
@@ -124,14 +151,15 @@ func splitList(s string) []string {
 	return out
 }
 
-func compileAndPrint(set *policy.Set, subjects, modes string) error {
+// deviceModel resolves the -subjects/-modes flags to compile options,
+// defaulting to the subjects and modes the policy itself mentions.
+func deviceModel(set *policy.Set, subjects, modes string) policy.CompileOptions {
 	subjList := splitList(subjects)
 	if len(subjList) == 0 {
 		subjList = set.Subjects()
 	}
-	modeList := splitList(modes)
 	var pModes []policy.Mode
-	for _, m := range modeList {
+	for _, m := range splitList(modes) {
 		pModes = append(pModes, policy.Mode(m))
 	}
 	if len(pModes) == 0 {
@@ -140,7 +168,57 @@ func compileAndPrint(set *policy.Set, subjects, modes string) error {
 			pModes = []policy.Mode{"default"}
 		}
 	}
-	compiled, err := policy.Compile(set, policy.CompileOptions{Subjects: subjList, Modes: pModes})
+	return policy.CompileOptions{Subjects: subjList, Modes: pModes}
+}
+
+// emitPolicy exports the lowered policy in the named textual form: the expr
+// backend's transpiled source (rego or cel) or the closure backend's
+// jump-table dump.
+func emitPolicy(w io.Writer, set *policy.Set, subjects, modes, format string) error {
+	opts := deviceModel(set, subjects, modes)
+	switch format {
+	case "rego", "cel":
+		p, err := ir.Lower(set, opts)
+		if err != nil {
+			return err
+		}
+		if format == "rego" {
+			_, err = io.WriteString(w, ir.TranspileRego(p))
+		} else {
+			_, err = io.WriteString(w, ir.TranspileCEL(p))
+		}
+		return err
+	default: // jumptable
+		opts.Backend = "closure"
+		enf, err := ir.Build(set, opts)
+		if err != nil {
+			return err
+		}
+		d, ok := enf.(interface{ Dump() string })
+		if !ok {
+			return fmt.Errorf("closure backend does not expose a jump-table dump")
+		}
+		_, err = io.WriteString(w, d.Dump())
+		return err
+	}
+}
+
+func compileAndPrint(set *policy.Set, subjects, modes, backend string) error {
+	opts := deviceModel(set, subjects, modes)
+	if backend != "" && backend != ir.DefaultBackend {
+		// Compile under the named backend so its errors surface here, then
+		// print the canonical per-node lists — backends are
+		// decision-equivalent, so the lists are backend-invariant.
+		opts.Backend = backend
+		enf, err := ir.Build(set, opts)
+		if err != nil {
+			return err
+		}
+		name, version := enf.Policy()
+		fmt.Printf("backend %s: policy %q version %d\n", enf.Backend(), name, version)
+		opts.Backend = ""
+	}
+	compiled, err := policy.Compile(set, opts)
 	if err != nil {
 		return err
 	}

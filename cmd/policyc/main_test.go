@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/policy/ir"
+)
+
+// update regenerates the golden files: go test ./cmd/policyc -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func samplePolicy(t *testing.T) *policy.Set {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "sample.pol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := policy.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// sampleModel pins the device model so the goldens do not depend on the
+// flag-defaulting logic inferring subjects/modes from the policy text.
+const (
+	sampleSubjects = "EV-ECU,Diagnostics,Infotainment"
+	sampleModes    = "Normal,RemoteDiag,FailSafe"
+)
+
+// TestEmitGolden locks the three -emit exports against checked-in goldens.
+// The transpilers promise deterministic output (interned order only), so a
+// golden diff means the textual contract changed, not map-order noise.
+func TestEmitGolden(t *testing.T) {
+	set := samplePolicy(t)
+	for _, format := range []string{"rego", "cel", "jumptable"} {
+		t.Run(format, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := emitPolicy(&buf, set, sampleSubjects, sampleModes, format); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "sample."+format+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("-emit %s drifted from %s (run with -update if intended):\n--- golden\n%s--- got\n%s",
+					format, golden, want, buf.Bytes())
+			}
+		})
+	}
+}
+
+// TestEmitDeterministic re-emits each format and requires byte-identical
+// output, so a map-iteration dependency cannot hide behind a fresh -update.
+func TestEmitDeterministic(t *testing.T) {
+	set := samplePolicy(t)
+	for _, format := range []string{"rego", "cel", "jumptable"} {
+		var a, b bytes.Buffer
+		if err := emitPolicy(&a, set, sampleSubjects, sampleModes, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := emitPolicy(&b, set, sampleSubjects, sampleModes, format); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("-emit %s is not deterministic", format)
+		}
+	}
+}
+
+// TestUnknownBackendIsUsageError pins the exit-2 contract: an unknown
+// -backend name must surface as a usageError whose message names every
+// registered backend.
+func TestUnknownBackendIsUsageError(t *testing.T) {
+	err := run("", false, false, "", "", "jit", "", false, "", "", "", false, "")
+	var ue usageError
+	if !asUsage(err, &ue) {
+		t.Fatalf("unknown backend error = %T %v, want usageError", err, err)
+	}
+	for _, name := range ir.Names() {
+		if !bytes.Contains([]byte(err.Error()), []byte(name)) {
+			t.Errorf("usage error does not name backend %q: %v", name, err)
+		}
+	}
+}
+
+// TestUnknownEmitIsUsageError does the same for -emit.
+func TestUnknownEmitIsUsageError(t *testing.T) {
+	err := run("", false, false, "", "", "", "yaml", false, "", "", "", false, "")
+	var ue usageError
+	if !asUsage(err, &ue) {
+		t.Fatalf("unknown emit error = %T %v, want usageError", err, err)
+	}
+}
+
+func asUsage(err error, target *usageError) bool {
+	ue, ok := err.(usageError)
+	if ok {
+		*target = ue
+	}
+	return ok
+}

@@ -15,6 +15,18 @@
 //   - internal/stride    — STRIDE categorisation
 //   - internal/dread     — DREAD scoring with a qualitative rubric
 //   - internal/policy    — policy model, DSL, compiler, signed bundles
+//   - internal/policy/ir — typed policy IR and the pluggable enforcement
+//     backend registry: policies lower once (interned subjects/modes,
+//     dropped unreachable rules, closed-world decision contract) and
+//     compile through a named backend — "table" (the HPE-table
+//     interpreter, unchanged), "expr" (rego/CEL-style rule-AST walker,
+//     also the transpile source for policyc -emit rego|cel), "closure"
+//     (pre-compiled per-vehicle-model jump tables) — all allocation-free
+//     on the per-frame Decide path
+//   - internal/policy/difftest — differential-equivalence harness holding
+//     every backend to the IR's decision contract over exhaustive probe
+//     matrices (Table I included) and fuzzed policy sets
+//     (FuzzBackendEquivalence)
 //   - internal/hpe       — the Fig. 4 hardware policy engine
 //   - internal/mac       — SELinux-style type-enforcement MAC
 //   - internal/threatmodel — the Fig. 1 modelling pipeline

@@ -48,7 +48,7 @@ func (h *Harness) NewArena() (*Arena, error) {
 	for i, name := range car.AllNodes {
 		eng := hpe.New(name, c, h.Cycles)
 		eng.SetSingleOwner(true)
-		if err := eng.Install(h.Compiled); err != nil {
+		if err := h.installEngine(eng); err != nil {
 			return nil, err
 		}
 		engines[i] = eng
@@ -72,7 +72,7 @@ func (a *Arena) SetSeed(seed uint64) { a.seed = seed }
 func (a *Arena) deployEngines() error {
 	for i, n := range a.nodes {
 		a.engines[i].Reset()
-		if err := a.engines[i].Reinstall(a.h.Compiled); err != nil {
+		if err := a.h.reinstallEngine(a.engines[i]); err != nil {
 			return err
 		}
 		n.SetInlineFilter(a.engines[i])
@@ -174,12 +174,16 @@ func (a *Arena) capture(ck *checkpoint, enf Enforcement) error {
 
 // restore rewinds the arena to ck. A restored arena runs a scenario tail
 // byte-identically to one that replayed the whole prefix from resetForRegime
-// — the contract the checkpoint property tests assert.
-func (a *Arena) restore(ck *checkpoint, enf Enforcement) {
+// — the contract the checkpoint property tests assert. It fails (with
+// hpe.ErrBackendMismatch) when the checkpoint was captured under a
+// different policy backend than the engines now run.
+func (a *Arena) restore(ck *checkpoint, enf Enforcement) error {
 	a.car.RestoreFrom(&ck.car)
 	if enf == EnforceHPE || enf == EnforceBehaviour {
 		for i, e := range a.engines {
-			e.RestoreFrom(&ck.engines[i])
+			if err := e.RestoreFrom(&ck.engines[i]); err != nil {
+				return err
+			}
 		}
 	}
 	if enf == EnforceBehaviour {
@@ -187,6 +191,7 @@ func (a *Arena) restore(ck *checkpoint, enf Enforcement) {
 			g.RestoreFrom(&ck.guards[i])
 		}
 	}
+	return nil
 }
 
 // RunSummariesBatched is RunSummaries driven by a precomputed BatchPlan: for
@@ -233,7 +238,9 @@ func (a *Arena) RunSummariesBatched(p *BatchPlan) ([]RegimeSummary, error) {
 			}
 			for ci, idx := range bucket {
 				if ci > 0 {
-					a.restore(&a.ckpt, enf)
+					if err := a.restore(&a.ckpt, enf); err != nil {
+						return nil, err
+					}
 				}
 				r, err := a.h.executeTail(a.car, p.Scenarios[idx], enf, &a.inj)
 				if err != nil {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/car"
 	"repro/internal/hpe"
 	"repro/internal/policy"
+	"repro/internal/policy/ir"
 	"repro/internal/threatmodel"
 )
 
@@ -219,8 +220,17 @@ func (r Result) String() string {
 
 // Harness runs scenarios against fresh cars.
 type Harness struct {
-	// Compiled is the policy loaded into HPEs under EnforceHPE.
+	// Compiled is the policy loaded into HPEs under EnforceHPE. It is always
+	// populated — report views render approved lists from it — even when a
+	// non-table backend enforces.
 	Compiled *policy.Compiled
+	// Backend names the policy backend engines decide with; "" means the
+	// default table interpreter.
+	Backend string
+	// Enforcer is the compiled enforcer for non-table backends. It is nil on
+	// the table path, which keeps every legacy install/deploy literally
+	// unchanged (and default-backend sweeps byte-identical).
+	Enforcer ir.Enforcer
 	// Cycles is the HPE cycle model.
 	Cycles hpe.CycleModel
 	// Seed feeds bus error injection (0 disables errors entirely).
@@ -228,8 +238,16 @@ type Harness struct {
 }
 
 // NewHarness derives and compiles the connected-car policy (via the
-// threat-modelling pipeline) and returns a ready harness.
-func NewHarness() (*Harness, error) {
+// threat-modelling pipeline) and returns a ready harness on the default
+// table backend.
+func NewHarness() (*Harness, error) { return NewHarnessBackend("") }
+
+// NewHarnessBackend is NewHarness with the enforcement backend selected by
+// name ("table", "expr", "closure"; empty = table). The table artifact is
+// compiled either way — report views and the software-filter regime read
+// approved lists from it — but under a non-table backend the policy engines
+// decide through the named backend's compiled enforcer.
+func NewHarnessBackend(backend string) (*Harness, error) {
 	analysis, err := car.Analyze()
 	if err != nil {
 		return nil, err
@@ -238,14 +256,47 @@ func NewHarness() (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := policy.Compile(set, policy.CompileOptions{
+	opts := policy.CompileOptions{
 		Subjects: car.AllNodes,
 		Modes:    car.AllModes,
-	})
+	}
+	compiled, err := policy.Compile(set, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Harness{Compiled: compiled, Cycles: hpe.DefaultCycleModel()}, nil
+	h := &Harness{Compiled: compiled, Backend: backend, Cycles: hpe.DefaultCycleModel()}
+	if backend != "" && backend != ir.DefaultBackend {
+		opts.Backend = backend
+		if h.Enforcer, err = ir.Build(set, opts); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// DeployEngines attaches policy engines running the harness's backend to
+// the named bus nodes: hpe.Deploy or hpe.DeployEnforcer as appropriate.
+func (h *Harness) DeployEngines(bus *canbus.Bus, modes hpe.ModeSource, nodeNames ...string) (map[string]*hpe.Engine, error) {
+	if h.Enforcer != nil {
+		return hpe.DeployEnforcer(bus, h.Enforcer, modes, h.Cycles, nodeNames...)
+	}
+	return hpe.Deploy(bus, h.Compiled, modes, h.Cycles, nodeNames...)
+}
+
+// installEngine and reinstallEngine are the pooled-arena install paths,
+// routed through the harness's backend.
+func (h *Harness) installEngine(e *hpe.Engine) error {
+	if h.Enforcer != nil {
+		return e.InstallEnforcer(h.Enforcer)
+	}
+	return e.Install(h.Compiled)
+}
+
+func (h *Harness) reinstallEngine(e *hpe.Engine) error {
+	if h.Enforcer != nil {
+		return e.ReinstallEnforcer(h.Enforcer)
+	}
+	return e.Reinstall(h.Compiled)
 }
 
 // stepTime spaces injected frames apart on the virtual clock.
@@ -261,11 +312,11 @@ func (h *Harness) Run(sc Scenario, enf Enforcement) (Result, error) {
 	}
 	switch enf {
 	case EnforceHPE:
-		if _, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...); err != nil {
+		if _, err := h.DeployEngines(c.Bus(), c, car.AllNodes...); err != nil {
 			return Result{}, err
 		}
 	case EnforceBehaviour:
-		engines, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...)
+		engines, err := h.DeployEngines(c.Bus(), c, car.AllNodes...)
 		if err != nil {
 			return Result{}, err
 		}

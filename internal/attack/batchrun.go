@@ -97,7 +97,10 @@ func (b *BatchRun) Run() (Result, error) {
 		b.sum = b.a.integritySum()
 		b.primed = true
 	} else {
-		b.a.restore(&b.a.ckpt, enf)
+		if err := b.a.restore(&b.a.ckpt, enf); err != nil {
+			b.primed = false
+			return Result{}, err
+		}
 		if b.corrupt {
 			b.corrupt = false
 			b.a.corruptState()

@@ -69,7 +69,9 @@ func TestCheckpointRestoreMatchesReset(t *testing.T) {
 			if _, err := a.h.executeTail(a.car, dirty, enf, &a.inj); err != nil {
 				t.Fatalf("%s/%s dirtying tail: %v", sc.ThreatID, enf, err)
 			}
-			a.restore(&ck, enf)
+			if err := a.restore(&ck, enf); err != nil {
+				t.Fatalf("%s/%s restore: %v", sc.ThreatID, enf, err)
+			}
 			got, err := a.h.executeTail(a.car, sc, enf, &a.inj)
 			if err != nil {
 				t.Fatalf("%s/%s forked tail: %v", sc.ThreatID, enf, err)
@@ -82,7 +84,9 @@ func TestCheckpointRestoreMatchesReset(t *testing.T) {
 			// Fork twice more from the same checkpoint: restores must be
 			// idempotent, not one-shot.
 			for i := 0; i < 2; i++ {
-				a.restore(&ck, enf)
+				if err := a.restore(&ck, enf); err != nil {
+					t.Fatalf("%s/%s re-restore: %v", sc.ThreatID, enf, err)
+				}
 				again, err := a.h.executeTail(a.car, sc, enf, &a.inj)
 				if err != nil {
 					t.Fatalf("%s/%s refork %d: %v", sc.ThreatID, enf, i, err)

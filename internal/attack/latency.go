@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/canbus"
 	"repro/internal/car"
-	"repro/internal/hpe"
 )
 
 // This file implements the E1 experiment (DESIGN.md §4): the paper's stated
@@ -111,7 +110,7 @@ func (h *Harness) MeasureLatency(cfg LatencyConfig) ([]LatencyStats, error) {
 		return nil, err
 	}
 	if cfg.Enforce == EnforceHPE {
-		if _, err := hpe.Deploy(c.Bus(), h.Compiled, c, h.Cycles, car.AllNodes...); err != nil {
+		if _, err := h.DeployEngines(c.Bus(), c, car.AllNodes...); err != nil {
 			return nil, err
 		}
 	}

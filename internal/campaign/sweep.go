@@ -40,6 +40,12 @@ type SweepConfig struct {
 	VerifySample float64
 	// MaxRetries bounds the supervisor's per-rung retry budget (default 2).
 	MaxRetries int
+	// PolicyBackend names the policy backend vehicles enforce with ("table",
+	// "expr", "closure"; empty = table). All backends are decision-equivalent
+	// — the differential suite asserts it — so reports are byte-identical
+	// across backends; the axis exists for the ablation benchmarks and for
+	// exercising the non-default compilers at fleet scale.
+	PolicyBackend string
 }
 
 // FamilyReport is one family's fleet-merged outcome.
@@ -106,7 +112,7 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 	if len(plan.Families) == 0 {
 		return nil, fmt.Errorf("campaign %q has no families", plan.Spec.Name)
 	}
-	h, err := attack.NewHarness()
+	h, err := attack.NewHarnessBackend(cfg.PolicyBackend)
 	if err != nil {
 		return nil, err
 	}

@@ -80,7 +80,6 @@ import (
 	"repro/internal/car"
 	"repro/internal/chaos"
 	"repro/internal/core"
-	"repro/internal/hpe"
 	"repro/internal/mac"
 )
 
@@ -145,6 +144,10 @@ type Config struct {
 	// campaign sweeps call Run once per scenario family and share one
 	// harness across all of them.
 	Harness *attack.Harness
+	// PolicyBackend names the policy backend vehicles enforce with ("table",
+	// "expr", "closure"; empty = table). Ignored when Harness is supplied —
+	// the harness already carries its backend.
+	PolicyBackend string
 	// SkipLive skips the per-vehicle live background simulation phase (its
 	// bus counters and utilisation report as zero). Campaign sweeps enable
 	// it for every family after the first.
@@ -310,7 +313,7 @@ func Run(cfg Config) (*FleetReport, error) {
 	h := cfg.Harness
 	if h == nil {
 		var err error
-		if h, err = attack.NewHarness(); err != nil {
+		if h, err = attack.NewHarnessBackend(cfg.PolicyBackend); err != nil {
 			return nil, err
 		}
 	}
@@ -605,7 +608,7 @@ func visitFresh(sh *shared, index int, memo *vehicleMemo, attempt int, h *Health
 			if err != nil {
 				return rep, err
 			}
-			if _, err := hpe.Deploy(c.Bus(), sh.harness.Compiled, c, sh.harness.Cycles, car.AllNodes...); err != nil {
+			if _, err := sh.harness.DeployEngines(c.Bus(), c, car.AllNodes...); err != nil {
 				return rep, err
 			}
 			c.StartTraffic(sh.cfg.TrafficPeriod, sh.cfg.TrafficHorizon, sh.cfg.Speed)

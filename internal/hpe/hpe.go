@@ -19,12 +19,14 @@
 package hpe
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/canbus"
 	"repro/internal/policy"
+	"repro/internal/policy/ir"
 )
 
 // ModeSource reports the device's current operating mode. The connected-car
@@ -108,6 +110,13 @@ type Engine struct {
 	table  atomic.Pointer[policy.NodeTable]
 	source *policy.Compiled // the compiled policy the table came from
 
+	// gen holds the generic install for non-table policy backends (expr,
+	// closure): the enforcer and the node's resolved decider. Exactly one of
+	// table/gen is non-nil after an install; the table backend keeps its
+	// historical atomic-NodeTable fast path and never touches gen.
+	gen     atomic.Pointer[genInstall]
+	backend string // active backend name ("" before any install)
+
 	// Resolved mode-table cache, maintained only in single-owner mode: it
 	// skips the per-decision map lookup NodeTable.Table performs. The
 	// concurrent default path must not touch it (Install may race Decide).
@@ -115,9 +124,22 @@ type Engine struct {
 	cacheMode  policy.Mode
 	cacheMT    policy.ModeTable
 
+	// The same cache for the generic path: one ModeDecider resolution per
+	// (install, mode) change instead of per decision.
+	cacheGen   *genInstall
+	cacheGMode policy.Mode
+	cacheMD    ir.ModeDecider
+
 	mu      sync.Mutex
 	stats   Stats
 	auditor *Auditor
+}
+
+// genInstall is one generic (non-table) backend install: swapped atomically
+// as a unit, like the NodeTable pointer on the table path.
+type genInstall struct {
+	enf  ir.Enforcer
+	node ir.NodeDecider
 }
 
 var _ canbus.InlineFilter = (*Engine)(nil)
@@ -161,12 +183,57 @@ func (e *Engine) Install(c *policy.Compiled) error {
 	if c == nil {
 		return fmt.Errorf("hpe: nil compiled policy")
 	}
+	e.gen.Store(nil)
 	e.table.Store(c.Node(e.subject))
 	e.lock()
 	e.source = c
+	e.backend = ir.DefaultBackend
 	e.stats.Installs++
 	e.unlock()
 	return nil
+}
+
+// InstallEnforcer loads the node's decision logic from a compiled enforcer.
+// The table backend routes through the historical Install path (atomic
+// NodeTable swap, untouched hot path); every other backend installs its
+// NodeDecider on the generic path. Like Install, the swap is atomic with
+// respect to concurrent decisions.
+func (e *Engine) InstallEnforcer(enf ir.Enforcer) error {
+	if enf == nil {
+		return fmt.Errorf("hpe: nil enforcer")
+	}
+	if te, ok := enf.(*ir.TableEnforcer); ok {
+		return e.Install(te.Compiled())
+	}
+	e.table.Store(nil)
+	e.gen.Store(&genInstall{enf: enf, node: enf.Node(e.subject)})
+	e.lock()
+	e.source = nil
+	e.backend = enf.Backend()
+	e.stats.Installs++
+	e.unlock()
+	return nil
+}
+
+// ReinstallEnforcer is InstallEnforcer specialised for re-provisioning a
+// pooled engine, mirroring Reinstall: when the enforcer is the one already
+// installed, the resolved decider is reused.
+func (e *Engine) ReinstallEnforcer(enf ir.Enforcer) error {
+	if enf == nil {
+		return fmt.Errorf("hpe: nil enforcer")
+	}
+	if te, ok := enf.(*ir.TableEnforcer); ok {
+		return e.Reinstall(te.Compiled())
+	}
+	g := e.gen.Load()
+	same := g != nil && g.enf == enf
+	if same {
+		e.lock()
+		e.stats.Installs++
+		e.unlock()
+		return nil
+	}
+	return e.InstallEnforcer(enf)
 }
 
 // Reinstall is Install specialised for re-provisioning a pooled engine: when
@@ -191,8 +258,26 @@ func (e *Engine) Reinstall(c *policy.Compiled) error {
 	return e.Install(c)
 }
 
-// Installed reports whether a policy table has been loaded.
-func (e *Engine) Installed() bool { return e.table.Load() != nil }
+// Installed reports whether decision logic has been loaded (a policy table
+// or a generic enforcer).
+func (e *Engine) Installed() bool { return e.table.Load() != nil || e.gen.Load() != nil }
+
+// Backend returns the name of the active policy backend, or "" before any
+// install.
+func (e *Engine) Backend() string {
+	e.lock()
+	defer e.unlock()
+	return e.backend
+}
+
+// Enforcer returns the generic enforcer installed via InstallEnforcer, or
+// nil when the engine runs the table path.
+func (e *Engine) Enforcer() ir.Enforcer {
+	if g := e.gen.Load(); g != nil {
+		return g.enf
+	}
+	return nil
+}
 
 // Reset zeroes the engine's counters, returning it to the statistical state
 // of a freshly constructed engine. The installed table, mode source, cycle
@@ -212,31 +297,59 @@ func (e *Engine) Reset() {
 // every restore, and the cache fields re-resolve against the same table.
 type Snapshot struct {
 	stats      Stats
+	backend    string
 	cacheTable *policy.NodeTable
 	cacheMode  policy.Mode
 	cacheMT    policy.ModeTable
+	cacheGen   *genInstall
+	cacheGMode policy.Mode
+	cacheMD    ir.ModeDecider
 }
+
+// Backend returns the policy backend that was active at capture time.
+func (s *Snapshot) Backend() string { return s.backend }
+
+// ErrBackendMismatch reports a checkpoint restored onto an engine running a
+// different policy backend: the captured cache state would silently mix
+// enforcement forms, so the restore fails fast instead.
+var ErrBackendMismatch = errors.New("hpe: snapshot backend mismatch")
 
 // Snapshot captures the engine's mutable state into dst.
 func (e *Engine) Snapshot(dst *Snapshot) {
 	e.lock()
 	dst.stats = e.stats
+	dst.backend = e.backend
 	e.unlock()
 	dst.cacheTable = e.cacheTable
 	dst.cacheMode = e.cacheMode
 	dst.cacheMT = e.cacheMT
+	dst.cacheGen = e.cacheGen
+	dst.cacheGMode = e.cacheGMode
+	dst.cacheMD = e.cacheMD
 }
 
 // RestoreFrom rewinds the engine to a state captured by Snapshot. A restored
 // engine decides and counts byte-identically to one that replayed the
-// captured prefix after a Reset + Reinstall.
-func (e *Engine) RestoreFrom(src *Snapshot) {
+// captured prefix after a Reset + Reinstall. The snapshot carries the
+// identity of the backend that was active at capture time; restoring it
+// onto an engine running a different backend returns ErrBackendMismatch.
+func (e *Engine) RestoreFrom(src *Snapshot) error {
 	e.lock()
+	if e.backend != src.backend {
+		have := e.backend
+		e.unlock()
+		return fmt.Errorf("%w: engine %q runs %q, snapshot captured under %q",
+			ErrBackendMismatch, e.subject, have, src.backend)
+	}
 	e.stats = src.stats
 	e.unlock()
 	e.cacheTable = src.cacheTable
 	e.cacheMode = src.cacheMode
 	e.cacheMT = src.cacheMT
+	e.cacheGen = src.cacheGen
+	e.cacheGMode = src.cacheGMode
+	e.cacheMD = src.cacheMD
+	return nil
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -273,6 +386,29 @@ func (e *Engine) Decide(dir canbus.Direction, f canbus.Frame) canbus.Verdict {
 			}
 		case canbus.Write:
 			if mt.Writes != nil && mt.Writes.Contains(f.ID) {
+				verdict = canbus.Grant
+			}
+		}
+	} else if g := e.gen.Load(); g != nil {
+		// Generic backend path, mirroring the table path's single-owner
+		// resolved-decider cache: one Resolve per (install, mode) change.
+		var md ir.ModeDecider
+		mode := e.modes.Mode()
+		if e.single && g == e.cacheGen && mode == e.cacheGMode {
+			md = e.cacheMD
+		} else {
+			md = g.node.Resolve(mode)
+			if e.single {
+				e.cacheGen, e.cacheGMode, e.cacheMD = g, mode, md
+			}
+		}
+		switch dir {
+		case canbus.Read:
+			if md.Allow(policy.ActRead, f.ID) {
+				verdict = canbus.Grant
+			}
+		case canbus.Write:
+			if md.Allow(policy.ActWrite, f.ID) {
 				verdict = canbus.Grant
 			}
 		}
@@ -316,6 +452,25 @@ func Deploy(bus *canbus.Bus, compiled *policy.Compiled, modes ModeSource, cycles
 		}
 		eng := New(name, modes, cycles)
 		if err := eng.Install(compiled); err != nil {
+			return nil, err
+		}
+		node.SetInlineFilter(eng)
+		engines[name] = eng
+	}
+	return engines, nil
+}
+
+// DeployEnforcer is Deploy for a compiled enforcer: same attachment, with
+// the backend-appropriate install path per engine.
+func DeployEnforcer(bus *canbus.Bus, enf ir.Enforcer, modes ModeSource, cycles CycleModel, nodeNames ...string) (map[string]*Engine, error) {
+	engines := make(map[string]*Engine, len(nodeNames))
+	for _, name := range nodeNames {
+		node, ok := bus.Node(name)
+		if !ok {
+			return nil, fmt.Errorf("hpe: node %q not attached to bus", name)
+		}
+		eng := New(name, modes, cycles)
+		if err := eng.InstallEnforcer(enf); err != nil {
 			return nil, err
 		}
 		node.SetInlineFilter(eng)

@@ -227,6 +227,12 @@ type CompileOptions struct {
 	Lookup LookupKind
 	// TableLimit overrides the per-table identifier cap; TableLimit if zero.
 	TableLimit int
+	// Backend names the enforcement backend to compile for ("table",
+	// "expr", "closure"); empty selects the default. Compile itself always
+	// produces the interpreted table form — the field is consumed by
+	// ir.Build, which dispatches to the registered backend (policy cannot
+	// import ir without a cycle).
+	Backend string
 }
 
 // Compile expands a rule set into per-node, per-mode approved reading and

@@ -1,0 +1,41 @@
+package difftest
+
+import "testing"
+
+// FuzzBackendEquivalence is the coverage-guided arm of the differential
+// harness: any byte string decodes (totally) into a policy set, and every
+// registered backend must produce byte-identical decisions — against the
+// specification and therefore against each other — over the full probe
+// matrix. The uniform-failure contract is checked first: a policy rejected
+// by one backend must be rejected by all.
+//
+// Seed corpus lives under testdata/fuzz/FuzzBackendEquivalence; CI runs a
+// short smoke (-fuzztime 10s) on every push.
+func FuzzBackendEquivalence(f *testing.F) {
+	// Empty policy: pure default-deny.
+	f.Add([]byte(""))
+	// Wildcard allow-readwrite 0x00..0x1F, then ecu deny-read 0x10 in normal
+	// mode: deny-overrides inside an allowed range.
+	f.Add([]byte("\x05\x04\x00\x1f\x00\x09\x10\x00"))
+	// Extended-identifier rule with a second disjoint range: closure spill
+	// list and bitmap fallback paths.
+	f.Add([]byte("\x01\x00\x08\xc4"))
+	// Unreachable rules: unknown subject, then foreign-mode-only wildcard.
+	f.Add([]byte("\x04\x00\x20\x05\x05\x43\x20\x05"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, opts := GenPolicy(data)
+		if err := set.Validate(); err != nil {
+			t.Fatalf("GenPolicy produced invalid set: %v\npolicy:\n%s", err, set)
+		}
+		failed, err := CheckCompileError(set, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed {
+			return
+		}
+		if err := Check(set, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

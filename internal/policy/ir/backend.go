@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/policy"
+)
+
+// Context carries the evaluation-time state a decision depends on beyond the
+// (subject, object, action) triple. Today that is the operating mode; it is
+// a struct so backends keep compiling when context grows (e.g. the
+// behavioural regime's rate state).
+type Context struct {
+	// Mode is the device's current operating mode.
+	Mode policy.Mode
+}
+
+// Decision is the outcome of one enforcement query. It is deliberately just
+// the effect — no rule provenance, no strings — so backends that reach the
+// same verdict are byte-identical and the differential harness can compare
+// them directly.
+type Decision struct {
+	// Effect is Allow or Deny.
+	Effect policy.Effect
+}
+
+// Allowed reports whether the decision grants the access.
+func (d Decision) Allowed() bool { return d.Effect == policy.Allow }
+
+// ModeDecider answers allow/deny for one (subject, mode) pair — the
+// innermost hot-path object. Allow must be allocation-free: the HPE calls
+// it once per frame delivery across the whole fleet.
+type ModeDecider interface {
+	// Allow reports whether the single-direction action on id is granted.
+	// Actions other than ActRead/ActWrite deny.
+	Allow(act policy.Action, id uint32) bool
+}
+
+// NodeDecider is one subject's compiled decision logic across modes.
+type NodeDecider interface {
+	// Resolve returns the decider for one operating mode; unknown modes
+	// resolve to a deny-all decider, never nil.
+	Resolve(mode policy.Mode) ModeDecider
+}
+
+// Enforcer is a fully compiled policy ready to decide accesses.
+type Enforcer interface {
+	// Backend names the backend that compiled this enforcer.
+	Backend() string
+	// Policy identifies the compiled policy (name, version).
+	Policy() (name string, version uint64)
+	// Decide evaluates one access under the closed-world contract.
+	Decide(subject string, object uint32, act policy.Action, ctx Context) Decision
+	// Node returns the subject's decider; unknown subjects get a deny-all
+	// decider, never nil.
+	Node(subject string) NodeDecider
+}
+
+// Backend compiles lowered policy IR into an Enforcer.
+type Backend interface {
+	// Name is the registry key ("table", "expr", "closure").
+	Name() string
+	// Compile builds an enforcer for the policy.
+	Compile(p *Policy) (Enforcer, error)
+}
+
+// DefaultBackend is the backend used when none is named: the interpreted
+// table form the engine has always run.
+const DefaultBackend = "table"
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Backend{}
+)
+
+// Register adds a backend under its name. Registering a duplicate name
+// panics: backends register from init and a collision is a programming
+// error.
+func Register(b Backend) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("ir: backend %q registered twice", b.Name()))
+	}
+	registry[b.Name()] = b
+}
+
+// Lookup resolves a backend name; the empty name means DefaultBackend. The
+// error for an unknown name lists every registered backend so CLI surfaces
+// can print it verbatim.
+func Lookup(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("ir: unknown policy backend %q (registered: %s)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// Names returns the sorted registered backend names.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func namesLocked() string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	s := ""
+	for i, n := range out {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// Build is the front door: lower the set against the device model and
+// compile it with the backend named by opts.Backend (default "table").
+func Build(set *policy.Set, opts policy.CompileOptions) (Enforcer, error) {
+	b, err := Lookup(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Lower(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.Compile(p)
+}
+
+// denyAllMode is the shared deny-everything ModeDecider every backend hands
+// out for unknown subjects and modes.
+type denyAllMode struct{}
+
+func (denyAllMode) Allow(policy.Action, uint32) bool { return false }
+
+// denyAllNode resolves every mode to the deny-all decider.
+type denyAllNode struct{}
+
+func (denyAllNode) Resolve(policy.Mode) ModeDecider { return denyAllMode{} }
+
+// DenyAllNode returns the shared deny-everything NodeDecider.
+func DenyAllNode() NodeDecider { return denyAllNode{} }

@@ -1,0 +1,109 @@
+package ir
+
+// exprBackend is the rego/CEL-style expression evaluator: it keeps the
+// lowered rule list as a normalised AST and decides by walking it, exactly
+// the shape oslopolicy2rego and gemara2ampel transpile into. It is the
+// slowest backend but the only one whose runtime form is the transpile
+// source (transpile.go renders the same rule list it walks), so what the
+// textual exports say is literally what this backend executes.
+//
+// Compilation prefilters the rule list per (subject, mode) pair into index
+// slices so the hot-path walk touches only rules that can match; the
+// deciders themselves are built once at compile time and Resolve/Allow
+// never allocate.
+
+import (
+	"repro/internal/policy"
+)
+
+type exprBackend struct{}
+
+func init() { Register(exprBackend{}) }
+
+func (exprBackend) Name() string { return "expr" }
+
+func (exprBackend) Compile(p *Policy) (Enforcer, error) {
+	e := &exprEnforcer{p: p, nodes: make([]exprNode, len(p.Subjects))}
+	for si := range p.Subjects {
+		n := exprNode{p: p, modes: make([]exprMode, len(p.Modes))}
+		for mi := range p.Modes {
+			var idx []int32
+			for ri := range p.Rules {
+				r := &p.Rules[ri]
+				if r.Subject != Wildcard && r.Subject != si {
+					continue
+				}
+				if r.Modes&(1<<mi) == 0 {
+					continue
+				}
+				idx = append(idx, int32(ri))
+			}
+			n.modes[mi] = exprMode{p: p, rules: idx}
+		}
+		e.nodes[si] = n
+	}
+	return e, nil
+}
+
+type exprEnforcer struct {
+	p     *Policy
+	nodes []exprNode
+}
+
+func (e *exprEnforcer) Backend() string { return "expr" }
+
+func (e *exprEnforcer) Policy() (string, uint64) { return e.p.Name, e.p.Version }
+
+func (e *exprEnforcer) Decide(subject string, object uint32, act policy.Action, ctx Context) Decision {
+	if e.Node(subject).Resolve(ctx.Mode).Allow(act, object) {
+		return Decision{Effect: policy.Allow}
+	}
+	return Decision{Effect: policy.Deny}
+}
+
+func (e *exprEnforcer) Node(subject string) NodeDecider {
+	si, ok := e.p.SubjectIndex(subject)
+	if !ok {
+		return denyAllNode{}
+	}
+	return &e.nodes[si]
+}
+
+type exprNode struct {
+	p     *Policy
+	modes []exprMode
+}
+
+func (n *exprNode) Resolve(mode policy.Mode) ModeDecider {
+	mi, ok := n.p.ModeIndex(mode)
+	if !ok {
+		return denyAllMode{}
+	}
+	return &n.modes[mi]
+}
+
+// exprMode walks the prefiltered rule list: deny overrides allow, default
+// deny. The subject and mode predicates were discharged at compile time;
+// only action and identifier membership remain.
+type exprMode struct {
+	p     *Policy
+	rules []int32
+}
+
+func (m *exprMode) Allow(act policy.Action, id uint32) bool {
+	if act != policy.ActRead && act != policy.ActWrite {
+		return false
+	}
+	allowed := false
+	for _, ri := range m.rules {
+		r := &m.p.Rules[ri]
+		if !r.Action.Has(act) || !r.IDs.Contains(id) {
+			continue
+		}
+		if r.Effect == policy.Deny {
+			return false
+		}
+		allowed = true
+	}
+	return allowed
+}

@@ -1,0 +1,163 @@
+package ir
+
+// Textual transpilation of the lowered IR, in the spirit of the two related
+// systems: TranspileRego renders the rego shape oslopolicy2rego produces
+// from oslo.policy documents, TranspileCEL the guarded-expression shape
+// gemara2ampel compiles governance policy into. Both render exactly the
+// rule list the expr backend walks at runtime, so the export is a faithful
+// statement of what the evaluator enforces. Output is deterministic
+// (interned order everywhere) — the policyc golden tests depend on that.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// TranspileRego renders the policy as a rego module: one rule body per
+// (rule, range) — rego expresses range disjunction as alternative bodies —
+// with the deny-overrides default-deny decision head on top.
+func TranspileRego(p *Policy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Transpiled from policy %q version %d.\n", p.Name, p.Version)
+	b.WriteString("# Input document: {subject, mode, action, id}.\n")
+	b.WriteString("package repro.enforce\n\n")
+	b.WriteString("default decision = \"deny\"\n\n")
+	b.WriteString("decision = \"allow\" {\n\tallow\n\tnot deny\n}\n")
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		head := "allow"
+		if r.Effect == policy.Deny {
+			head = "deny"
+		}
+		for _, rng := range r.IDs {
+			b.WriteString("\n")
+			if r.Name != "" {
+				fmt.Fprintf(&b, "# rule %q\n", r.Name)
+			}
+			fmt.Fprintf(&b, "%s {\n", head)
+			if r.Subject != Wildcard {
+				fmt.Fprintf(&b, "\tinput.subject == %q\n", p.Subjects[r.Subject])
+			}
+			if modes := p.ModeNames(r.Modes); modes != nil {
+				if len(modes) == 1 {
+					fmt.Fprintf(&b, "\tinput.mode == %q\n", string(modes[0]))
+				} else {
+					fmt.Fprintf(&b, "\t%s[input.mode]\n", regoSet(modeStrings(modes)))
+				}
+			}
+			switch r.Action {
+			case policy.ActRead:
+				b.WriteString("\tinput.action == \"read\"\n")
+			case policy.ActWrite:
+				b.WriteString("\tinput.action == \"write\"\n")
+			default:
+				fmt.Fprintf(&b, "\t%s[input.action]\n", regoSet([]string{"read", "write"}))
+			}
+			if rng.Lo == rng.Hi {
+				fmt.Fprintf(&b, "\tinput.id == %d\n", rng.Lo)
+			} else {
+				fmt.Fprintf(&b, "\tinput.id >= %d\n\tinput.id <= %d\n", rng.Lo, rng.Hi)
+			}
+			b.WriteString("}\n")
+		}
+	}
+	return b.String()
+}
+
+// TranspileCEL renders the policy as a pair of CEL guard expressions plus
+// the combined decision expression, one disjunct per rule.
+func TranspileCEL(p *Policy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Transpiled from policy %q version %d.\n", p.Name, p.Version)
+	b.WriteString("// Variables: subject (string), mode (string), action (string), id (uint).\n")
+	b.WriteString("// decision: (allow && !deny) ? \"allow\" : \"deny\"\n")
+	writeArm := func(head string, effect policy.Effect) {
+		fmt.Fprintf(&b, "\n%s :=\n", head)
+		first := true
+		for i := range p.Rules {
+			r := &p.Rules[i]
+			if r.Effect != effect {
+				continue
+			}
+			sep := "  || "
+			if first {
+				sep = "     "
+				first = false
+			}
+			fmt.Fprintf(&b, "%s%s", sep, celRule(p, r))
+			if r.Name != "" {
+				fmt.Fprintf(&b, " // rule %q", r.Name)
+			}
+			b.WriteString("\n")
+		}
+		if first {
+			b.WriteString("     false\n")
+		}
+	}
+	writeArm("allow", policy.Allow)
+	writeArm("deny", policy.Deny)
+	return b.String()
+}
+
+// celRule renders one lowered rule as a conjunction of guards.
+func celRule(p *Policy, r *Rule) string {
+	var conds []string
+	if r.Subject != Wildcard {
+		conds = append(conds, fmt.Sprintf("subject == %q", p.Subjects[r.Subject]))
+	}
+	if modes := p.ModeNames(r.Modes); modes != nil {
+		if len(modes) == 1 {
+			conds = append(conds, fmt.Sprintf("mode == %q", string(modes[0])))
+		} else {
+			conds = append(conds, fmt.Sprintf("mode in %s", celList(modeStrings(modes))))
+		}
+	}
+	switch r.Action {
+	case policy.ActRead:
+		conds = append(conds, `action == "read"`)
+	case policy.ActWrite:
+		conds = append(conds, `action == "write"`)
+	default:
+		conds = append(conds, fmt.Sprintf("action in %s", celList([]string{"read", "write"})))
+	}
+	var ranges []string
+	for _, rng := range r.IDs {
+		if rng.Lo == rng.Hi {
+			ranges = append(ranges, fmt.Sprintf("id == %du", rng.Lo))
+		} else {
+			ranges = append(ranges, fmt.Sprintf("(id >= %du && id <= %du)", rng.Lo, rng.Hi))
+		}
+	}
+	if len(ranges) == 1 {
+		conds = append(conds, ranges[0])
+	} else {
+		conds = append(conds, "("+strings.Join(ranges, " || ")+")")
+	}
+	return "(" + strings.Join(conds, " && ") + ")"
+}
+
+func modeStrings(modes []policy.Mode) []string {
+	out := make([]string, len(modes))
+	for i, m := range modes {
+		out[i] = string(m)
+	}
+	return out
+}
+
+func regoSet(items []string) string {
+	quoted := make([]string, len(items))
+	for i, s := range items {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return "{" + strings.Join(quoted, ", ") + "}"
+}
+
+func celList(items []string) string {
+	quoted := make([]string, len(items))
+	for i, s := range items {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return "[" + strings.Join(quoted, ", ") + "]"
+}

@@ -142,6 +142,9 @@ type RunConfig struct {
 	VerifySample float64
 	// MaxRetries bounds the supervisor's per-rung retry budget (default 2).
 	MaxRetries int
+	// PolicyBackend names the policy backend vehicles enforce with; the
+	// profile is byte-identical across backends (decision equivalence).
+	PolicyBackend string
 }
 
 // Outcome bundles every artifact of one risk run.
@@ -209,6 +212,7 @@ func Run(sp *Spec, rc RunConfig) (*Outcome, error) {
 		Chaos:         rc.Chaos,
 		VerifySample:  rc.VerifySample,
 		MaxRetries:    rc.MaxRetries,
+		PolicyBackend: rc.PolicyBackend,
 	})
 	out.Report = rep
 	if err != nil {
