@@ -11,6 +11,7 @@
 //	E3  BenchmarkFleetSweep                — fleet engine scaling {1,10,100,1000}
 //	E4  BenchmarkCampaignSweep             — procedural campaign sweeps (lite + quickstart)
 //	E5  BenchmarkRiskCalibrate             — threat-model → sweep → calibrated DREAD profile
+//	E7  BenchmarkShardedSweep              — sharded quickstart sweep (byte-identical merge)
 //
 // plus the DESIGN.md §5 ablations (HPE lookup structure, AVC cache).
 // Domain metrics are attached via b.ReportMetric so `go test -bench` prints
@@ -565,6 +566,40 @@ func BenchmarkCampaignSweep(b *testing.B) {
 			b.ReportMetric(float64(tc.fleet)*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
 			b.ReportMetric(float64(rep.Cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 			b.ReportMetric(float64(rep.ScenariosPerVehicle), "scenarios/vehicle")
+		})
+	}
+}
+
+// BenchmarkShardedSweep (E7) sweeps the quickstart campaign through the
+// internal/shard partition-and-merge layer: the fleet index space split into
+// contiguous ranges, each range an independent engine run, the merged report
+// byte-identical to the unsharded sweep (global-index seeding keeps every
+// trajectory pinned; the merge refolds vehicle reports in range order).
+// shards=1 exercises the partition/merge machinery on a single range, so the
+// delta versus BenchmarkCampaignSweep/quickstart/fleet=1000 is the layer's
+// overhead; shards=4 measures the per-range fan-out. BENCH_7.json gates
+// shards=4 — the row behind the million-vehicle quickstart path.
+func BenchmarkShardedSweep(b *testing.B) {
+	plan := loadCampaign(b, "examples/campaigns/quickstart.campaign")
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("quickstart/fleet=1000/shards=%d", shards), func(b *testing.B) {
+			var rep *campaign.CampaignReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = campaign.Sweep(plan, campaign.SweepConfig{
+					Fleet:    1000,
+					RootSeed: 42,
+					Shards:   shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Families[0].Regimes[len(rep.Families[0].Regimes)-1].Summary.BlockRate() != 1.0 {
+					b.Fatal("sharded sweep lost the HPE block-rate invariant")
+				}
+			}
+			b.ReportMetric(float64(1000)*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+			b.ReportMetric(float64(rep.Cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 		})
 	}
 }

@@ -21,12 +21,15 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +43,7 @@ import (
 	"repro/internal/policy/ir"
 	"repro/internal/report"
 	"repro/internal/risk"
+	"repro/internal/shard"
 )
 
 // errPartialSweep marks an unrecoverable sweep whose partial report was
@@ -49,11 +53,22 @@ import (
 var errPartialSweep = errors.New("sweep unrecoverable, partial report flushed")
 
 // supervision bundles the sweep supervisor's CLI-selectable knobs plus the
-// policy backend the swept vehicles enforce with.
+// policy backend the swept vehicles enforce with, and the sharding layout.
+// chaosSpec keeps the raw -chaos string so subprocess shards can be handed
+// the exact flag their parent parsed.
 type supervision struct {
-	plan    *chaos.Plan
-	verify  float64
-	backend string
+	plan      *chaos.Plan
+	verify    float64
+	backend   string
+	chaosSpec string
+	// shards partitions the fleet index space (<=1: unsharded); shardExec
+	// runs each range as a carsim subprocess speaking the shard wire format.
+	shards    int
+	shardExec bool
+	// shardRange, when non-empty, puts this process in shard-child mode: run
+	// only that "start:count" slice of the whole-fleet config and write the
+	// wire report to stdout.
+	shardRange string
 }
 
 func main() {
@@ -76,6 +91,9 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "arm deterministic fault injection, e.g. \"seed=7,panic=0.01,corrupt=0.005,deadline=0.002,crash=0.001\" (\"off\" disables)")
 	verifySample := flag.Float64("verify-sample", 0, "cross-check this fraction of batched cells against the cell-by-cell oracle inline (0 disables)")
 	policyBackend := flag.String("policy-backend", "", "policy enforcement backend for swept vehicles: "+strings.Join(ir.Names(), ", ")+" (default table)")
+	shards := flag.Int("shards", 0, "partition the fleet index space into N contiguous ranges run as independent engine runs; the merged report is byte-identical to the unsharded sweep")
+	shardExec := flag.Bool("shard-exec", false, "with -shards: run each shard as a carsim subprocess (shard wire format over stdout) instead of in-process")
+	shardRange := flag.String("shard-range", "", "internal: run only this start:count slice of the fleet and emit the shard wire report on stdout (set by -shard-exec parents)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	flag.Parse()
@@ -93,7 +111,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)
 	}
-	sup := supervision{plan: plan, verify: *verifySample, backend: *policyBackend}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "carsim: -shards %d is negative\n", *shards)
+		os.Exit(1)
+	}
+	sup := supervision{
+		plan: plan, verify: *verifySample, backend: *policyBackend,
+		chaosSpec: *chaosSpec, shards: *shards, shardExec: *shardExec,
+		shardRange: *shardRange,
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -182,6 +208,9 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 	if latency {
 		return runLatency()
 	}
+	if sup.shardRange != "" {
+		return runShardChild(campaignFile, riskFile, enforcement, fleetSize, workers, seed, reuse, noBatch, sup)
+	}
 	if campaignFile != "" {
 		return runCampaign(campaignFile, listScenarios, fleetSize, workers, seed, reuse, noBatch, detail, sup)
 	}
@@ -199,6 +228,160 @@ func run(topology bool, nodeArch string, hpeView, latency bool, attackSel, enfor
 		return fmt.Errorf("nothing to do: pass -print-topology, -print-node, -print-hpe, -latency, -campaign, -risk, -fleet or -attack")
 	}
 	return runAttacks(attackSel, enforcement, trace, sup.backend)
+}
+
+// buildEngineConfig reconstructs the whole-fleet engine configuration of the
+// current mode — campaign, risk, or the Table I fleet sweep — from the same
+// flags the parent parsed, so a shard child partitions exactly the index
+// space its parent did.
+func buildEngineConfig(campaignFile, riskFile, enforcement string, fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision) (engine.Config, error) {
+	switch {
+	case campaignFile != "":
+		raw, err := os.ReadFile(campaignFile)
+		if err != nil {
+			return engine.Config{}, err
+		}
+		spec, err := campaign.Parse(string(raw))
+		if err != nil {
+			return engine.Config{}, err
+		}
+		plan, err := (campaign.Compiler{}).Compile(spec)
+		if err != nil {
+			return engine.Config{}, err
+		}
+		return campaign.EngineConfig(plan, campaignSweepConfig(fleetSize, workers, seed, reuse, noBatch, sup, nil))
+	case riskFile != "":
+		raw, err := os.ReadFile(riskFile)
+		if err != nil {
+			return engine.Config{}, err
+		}
+		spec, err := risk.ParseSpec(string(raw))
+		if err != nil {
+			return engine.Config{}, err
+		}
+		out, scfg, err := risk.SweepSetup(spec, riskRunConfig(fleetSize, workers, seed, reuse, noBatch, sup, nil))
+		if err != nil {
+			return engine.Config{}, err
+		}
+		return campaign.EngineConfig(out.Plan, scfg)
+	default:
+		regimes, err := parseRegimes(enforcement)
+		if err != nil {
+			return engine.Config{}, err
+		}
+		return engine.Config{
+			Fleet:         fleetSize,
+			Workers:       workers,
+			RootSeed:      seed,
+			Regimes:       regimes,
+			FreshVehicles: !reuse,
+			NoBatch:       noBatch,
+			Chaos:         sup.plan,
+			VerifySample:  sup.verify,
+			PolicyBackend: sup.backend,
+		}, nil
+	}
+}
+
+// runShardChild is the hidden -shard-range mode a -shard-exec parent spawns:
+// rebuild the whole-fleet configuration from the forwarded flags, run only
+// the assigned index slice, and write the shard wire report to stdout. The
+// child always exits 0 when the report is written — an unrecoverable sweep
+// travels in the report's Err field, exactly as engine.Run returns the
+// partial report alongside its error.
+func runShardChild(campaignFile, riskFile, enforcement string, fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision) error {
+	r, err := shard.ParseRange(sup.shardRange)
+	if err != nil {
+		return err
+	}
+	ecfg, err := buildEngineConfig(campaignFile, riskFile, enforcement, fleetSize, workers, seed, reuse, noBatch, sup)
+	if err != nil {
+		return err
+	}
+	return shard.RunRange(ecfg, r).Encode(os.Stdout)
+}
+
+// shardSpawn returns the subprocess spawn hook: re-invoke this binary with
+// the run's own mode flags plus the child's -shard-range, and decode the
+// wire report from its stdout. Child stderr passes through for diagnostics.
+func shardSpawn(campaignFile, riskFile, enforcement string, fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision) shard.Spawn {
+	return func(r shard.Range) (*shard.WireReport, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		args := []string{
+			"-shard-range", r.String(),
+			"-fleet", strconv.Itoa(fleetSize),
+			"-workers", strconv.Itoa(workers),
+			"-seed", strconv.FormatUint(seed, 10),
+		}
+		switch {
+		case campaignFile != "":
+			args = append(args, "-campaign", campaignFile)
+		case riskFile != "":
+			args = append(args, "-risk", riskFile)
+		default:
+			args = append(args, "-enforcement", enforcement)
+		}
+		if !reuse {
+			args = append(args, "-reuse=false")
+		}
+		if noBatch {
+			args = append(args, "-no-batch")
+		}
+		if sup.chaosSpec != "" {
+			args = append(args, "-chaos", sup.chaosSpec)
+		}
+		if sup.verify > 0 {
+			args = append(args, "-verify-sample", strconv.FormatFloat(sup.verify, 'g', -1, 64))
+		}
+		if sup.backend != "" {
+			args = append(args, "-policy-backend", sup.backend)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("subprocess shard %s: %w", r, err)
+		}
+		return shard.DecodeWireReport(&out)
+	}
+}
+
+// campaignSweepConfig assembles the campaign sweep configuration shared by
+// the parent sweep and the shard child's config rebuild (spawn is nil in the
+// child — its slice IS the work).
+func campaignSweepConfig(fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision, spawn shard.Spawn) campaign.SweepConfig {
+	return campaign.SweepConfig{
+		Fleet:         fleetSize,
+		Workers:       workers,
+		RootSeed:      seed,
+		FreshVehicles: !reuse,
+		NoBatch:       noBatch,
+		Chaos:         sup.plan,
+		VerifySample:  sup.verify,
+		PolicyBackend: sup.backend,
+		Shards:        sup.shards,
+		SpawnShard:    spawn,
+	}
+}
+
+// riskRunConfig is campaignSweepConfig's counterpart for the risk pipeline.
+func riskRunConfig(fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision, spawn shard.Spawn) risk.RunConfig {
+	return risk.RunConfig{
+		Fleet:         fleetSize,
+		Workers:       workers,
+		RootSeed:      seed,
+		FreshVehicles: !reuse,
+		NoBatch:       noBatch,
+		Chaos:         sup.plan,
+		VerifySample:  sup.verify,
+		PolicyBackend: sup.backend,
+		Shards:        sup.shards,
+		SpawnShard:    spawn,
+	}
 }
 
 // runCampaign compiles a campaign spec and either lists its generated
@@ -224,17 +407,12 @@ func runCampaign(path string, listOnly bool, fleetSize, workers int, seed uint64
 	if fleetSize <= 0 {
 		fleetSize = 1
 	}
+	var spawn shard.Spawn
+	if sup.shardExec {
+		spawn = shardSpawn(path, "", "", fleetSize, workers, seed, reuse, noBatch, sup)
+	}
 	start := time.Now()
-	rep, err := campaign.Sweep(plan, campaign.SweepConfig{
-		Fleet:         fleetSize,
-		Workers:       workers,
-		RootSeed:      seed,
-		FreshVehicles: !reuse,
-		NoBatch:       noBatch,
-		Chaos:         sup.plan,
-		VerifySample:  sup.verify,
-		PolicyBackend: sup.backend,
-	})
+	rep, err := campaign.Sweep(plan, campaignSweepConfig(fleetSize, workers, seed, reuse, noBatch, sup, spawn))
 	if err != nil {
 		if rep == nil {
 			return err
@@ -298,17 +476,12 @@ func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, re
 	if fleetSize <= 0 {
 		fleetSize = 1
 	}
+	var spawn shard.Spawn
+	if sup.shardExec {
+		spawn = shardSpawn("", path, "", fleetSize, workers, seed, reuse, noBatch, sup)
+	}
 	start := time.Now()
-	out, err := risk.Run(spec, risk.RunConfig{
-		Fleet:         fleetSize,
-		Workers:       workers,
-		RootSeed:      seed,
-		FreshVehicles: !reuse,
-		NoBatch:       noBatch,
-		Chaos:         sup.plan,
-		VerifySample:  sup.verify,
-		PolicyBackend: sup.backend,
-	})
+	out, err := risk.Run(spec, riskRunConfig(fleetSize, workers, seed, reuse, noBatch, sup, spawn))
 	if err != nil {
 		if out == nil || out.Report == nil {
 			return err
@@ -337,22 +510,21 @@ func runRisk(path string, listOnly bool, fleetSize, workers int, seed uint64, re
 // merged report plus the wall-clock throughput. The report itself stays
 // byte-stable for a given config; the timing line is printed separately.
 func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse, noBatch bool, sup supervision) error {
-	regimes, err := parseRegimes(enforcement)
+	ecfg, err := buildEngineConfig("", "", enforcement, fleetSize, workers, seed, reuse, noBatch, sup)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	fr, err := engine.Run(engine.Config{
-		Fleet:         fleetSize,
-		Workers:       workers,
-		RootSeed:      seed,
-		Regimes:       regimes,
-		FreshVehicles: !reuse,
-		NoBatch:       noBatch,
-		Chaos:         sup.plan,
-		VerifySample:  sup.verify,
-		PolicyBackend: sup.backend,
-	})
+	var fr *engine.FleetReport
+	if sup.shards > 1 || sup.shardExec {
+		var spawn shard.Spawn
+		if sup.shardExec {
+			spawn = shardSpawn("", "", enforcement, fleetSize, workers, seed, reuse, noBatch, sup)
+		}
+		fr, err = shard.Run(shard.Config{Engine: ecfg, Shards: sup.shards, Spawn: spawn})
+	} else {
+		fr, err = engine.Run(ecfg)
+	}
 	if err != nil {
 		if fr == nil {
 			return err

@@ -256,6 +256,15 @@ func NewHarnessBackend(backend string) (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewHarnessFromSet(set, backend)
+}
+
+// NewHarnessFromSet builds a harness enforcing exactly the given policy set
+// under the named backend — the constructor gate sweeps use to measure a
+// candidate policy (an OTA bundle's verified set) on the simulated fleet
+// before any real vehicle installs it. NewHarnessBackend is this applied to
+// the analysis-derived Table I set.
+func NewHarnessFromSet(set *policy.Set, backend string) (*Harness, error) {
 	opts := policy.CompileOptions{
 		Subjects: car.AllNodes,
 		Modes:    car.AllModes,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/chaos"
 	"repro/internal/engine"
+	"repro/internal/shard"
 )
 
 // SweepConfig parameterises a fleet-scale campaign sweep.
@@ -46,6 +47,20 @@ type SweepConfig struct {
 	// across backends; the axis exists for the ablation benchmarks and for
 	// exercising the non-default compilers at fleet scale.
 	PolicyBackend string
+	// Harness, when non-nil, overrides the backend-derived harness: the
+	// sweep enforces with exactly this compiled policy. OTA gate sweeps use
+	// it to measure a candidate policy set before any vehicle installs it.
+	// Ignored by subprocess shards (SpawnShard), which rebuild their own
+	// stack from flags.
+	Harness *attack.Harness
+	// Shards partitions the fleet into that many contiguous index ranges,
+	// each an independent engine run, merged byte-identically to the
+	// unsharded sweep (<=1: unsharded).
+	Shards int
+	// SpawnShard, when non-nil, runs each shard range out of process (and
+	// implies sharded execution even when Shards <= 1); carsim wires it to
+	// re-invoke itself with -shard-range.
+	SpawnShard shard.Spawn
 }
 
 // FamilyReport is one family's fleet-merged outcome.
@@ -106,15 +121,50 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 	if cfg.Fleet <= 0 {
 		cfg.Fleet = 1
 	}
+	ecfg, err := EngineConfig(plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var fr *engine.FleetReport
+	if cfg.Shards > 1 || cfg.SpawnShard != nil {
+		fr, err = shard.Run(shard.Config{Engine: ecfg, Shards: cfg.Shards, Spawn: cfg.SpawnShard})
+	} else {
+		fr, err = engine.Run(ecfg)
+	}
+	if err != nil {
+		// An unrecoverable sweep still merges what completed: fold the
+		// partial fleet report (with its Health ledger, which records the
+		// unrecoverable cells) so callers can flush it alongside the error.
+		if fr == nil {
+			return nil, fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)
+		}
+		return foldReport(plan, cfg, fr), fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)
+	}
+	return foldReport(plan, cfg, fr), nil
+}
+
+// EngineConfig builds the whole-fleet engine configuration Sweep runs (or
+// shards): per-family scenario groups with their derived fleet roots, the
+// enforcement harness, and every supervision knob. Exported so a subprocess
+// shard — which receives only the campaign file and the sweep flags — can
+// rebuild the exact configuration its parent partitions, then run its index
+// range with shard.RunRange.
+func EngineConfig(plan *Plan, cfg SweepConfig) (engine.Config, error) {
+	if cfg.Fleet <= 0 {
+		cfg.Fleet = 1
+	}
 	if cfg.TrafficHorizon <= 0 {
 		cfg.TrafficHorizon = 10 * time.Millisecond
 	}
 	if len(plan.Families) == 0 {
-		return nil, fmt.Errorf("campaign %q has no families", plan.Spec.Name)
+		return engine.Config{}, fmt.Errorf("campaign %q has no families", plan.Spec.Name)
 	}
-	h, err := attack.NewHarnessBackend(cfg.PolicyBackend)
-	if err != nil {
-		return nil, err
+	h := cfg.Harness
+	if h == nil {
+		var err error
+		if h, err = attack.NewHarnessBackend(cfg.PolicyBackend); err != nil {
+			return engine.Config{}, err
+		}
 	}
 	groups := make([]engine.ScenarioGroup, len(plan.Families))
 	for fi := range plan.Families {
@@ -129,7 +179,7 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 			RootSeed:  engine.VehicleSeed(cfg.RootSeed^fam.Seed, fi),
 		}
 	}
-	fr, err := engine.Run(engine.Config{
+	return engine.Config{
 		Fleet:          cfg.Fleet,
 		Workers:        cfg.Workers,
 		RootSeed:       groups[0].RootSeed,
@@ -143,17 +193,7 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 		Chaos:          cfg.Chaos,
 		VerifySample:   cfg.VerifySample,
 		MaxRetries:     cfg.MaxRetries,
-	})
-	if err != nil {
-		// An unrecoverable sweep still merges what completed: fold the
-		// partial fleet report (with its Health ledger, which records the
-		// unrecoverable cells) so callers can flush it alongside the error.
-		if fr == nil {
-			return nil, fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)
-		}
-		return foldReport(plan, cfg, fr), fmt.Errorf("campaign %q: %w", plan.Spec.Name, err)
-	}
-	return foldReport(plan, cfg, fr), nil
+	}, nil
 }
 
 // foldReport folds a (possibly partial) fleet report into the campaign view.

@@ -110,6 +110,14 @@ type Config struct {
 	Workers int
 	// RootSeed feeds per-vehicle seed derivation.
 	RootSeed uint64
+	// IndexOffset shifts this run's vehicle indices into the global fleet
+	// index space: the run simulates global vehicles [IndexOffset,
+	// IndexOffset+Fleet). Seeds, VINs, and every supervision coordinate
+	// (chaos fault rolls, verify sampling) key on the global index, so a
+	// sharded sweep — N runs covering contiguous ranges — gives every
+	// vehicle exactly the trajectory the unsharded run would, whatever the
+	// shard layout. Zero (the default) is the unsharded whole-fleet run.
+	IndexOffset int
 	// Scenarios is the attack matrix swept per vehicle
 	// (default attack.Scenarios(), the full Table I set).
 	Scenarios []attack.Scenario
@@ -397,10 +405,13 @@ func Run(cfg Config) (*FleetReport, error) {
 				if i >= cfg.Fleet {
 					return
 				}
+				// Simulate under the global fleet index (shifted by the
+				// shard offset); the report still lands in the local slot so
+				// merge order stays range-local.
 				if ar != nil {
-					reports[i], errs[i] = ar.runVehicle(sh, i, memo)
+					reports[i], errs[i] = ar.runVehicle(sh, i+cfg.IndexOffset, memo)
 				} else {
-					reports[i], errs[i] = runVehicle(sh, i, memo)
+					reports[i], errs[i] = runVehicle(sh, i+cfg.IndexOffset, memo)
 				}
 			}
 		}()
@@ -727,6 +738,21 @@ func macProbe(rep *VehicleReport, srv *mac.Server, sh *shared) {
 	if srv.Check(sh.spoof.src, sh.spoof.tgt, core.MACClassCAN, core.MACPermWrite).Allowed {
 		rep.MACAllowed++ // would indicate a broken least-privilege matrix
 	}
+}
+
+// Merge folds externally produced per-vehicle reports into one fleet report,
+// exactly as Run does for its own workers: aggregates are summed, Health
+// ledgers merged, and MeanUtilisation re-folded over the vehicle slice in
+// order — so a sharded sweep that concatenates its shards' vehicles in range
+// order renders byte-identically to the unsharded run (float summation order
+// included). cfg must describe the whole fleet (total Fleet, the unsharded
+// Workers value, zero IndexOffset); the same defaults Run applies are
+// applied here so the report header matches.
+func Merge(cfg Config, vehicles []VehicleReport) (*FleetReport, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return merge(cfg, vehicles), nil
 }
 
 // merge folds per-vehicle reports (in index order) into the fleet report:

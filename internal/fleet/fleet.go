@@ -9,6 +9,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -57,6 +58,14 @@ type Plan struct {
 	// and the report is identical to a serial rollout whatever the worker
 	// count: outcomes are folded in fleet order after each stage completes.
 	Workers int
+	// Gate, when non-nil, is consulted after each non-empty stage clears the
+	// abort threshold: it receives the completed stage report and may veto
+	// the remaining stages by returning an error (recorded verbatim in the
+	// rollout report). OTA drivers hang measured-evidence gates here — e.g.
+	// a canary-cohort sweep whose calibrated residual risk must not regress
+	// before the next cohort is touched. A gate veto stops the rollout like
+	// a threshold abort: already-updated vehicles keep the new policy.
+	Gate func(StageReport) error
 }
 
 // DefaultPlan is a conservative canary rollout: 1%, 10%, 50%, 100%, abort
@@ -72,6 +81,12 @@ var (
 	ErrLastStage    = errors.New("fleet: final stage must cover the whole fleet (1.0)")
 	ErrBadThreshold = errors.New("fleet: abort threshold must be in [0, 1)")
 )
+
+// ErrDuplicateID rejects a fleet carrying two vehicles with the same ID. The
+// rollout's determinism contract — stage membership and failure order are a
+// pure function of the (ID-sorted) fleet — cannot hold when two endpoints
+// are indistinguishable, so duplicates fail fast instead of silently racing.
+var ErrDuplicateID = errors.New("fleet: duplicate vehicle ID")
 
 // Validate checks plan well-formedness.
 func (p Plan) Validate() error {
@@ -128,10 +143,14 @@ type Report struct {
 	BundleVersion uint64
 	// Stages in execution order (only executed stages appear).
 	Stages []StageReport
-	// Aborted reports whether the abort threshold cancelled later stages.
+	// Aborted reports whether the abort threshold or a stage gate cancelled
+	// later stages.
 	Aborted bool
 	// AbortedAtStage is the index of the failing stage when Aborted.
 	AbortedAtStage int
+	// GateVeto carries the Plan.Gate error message when a gate (rather than
+	// the failure-rate threshold) stopped the rollout; empty otherwise.
+	GateVeto string
 	// Applied and Failed are fleet-wide totals.
 	Applied, Failed int
 }
@@ -142,6 +161,9 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "rollout of policy v%d: applied=%d failed=%d", r.BundleVersion, r.Applied, r.Failed)
 	if r.Aborted {
 		fmt.Fprintf(&b, " ABORTED at stage %d", r.AbortedAtStage)
+		if r.GateVeto != "" {
+			fmt.Fprintf(&b, " (gate: %s)", r.GateVeto)
+		}
 	}
 	b.WriteByte('\n')
 	for _, s := range r.Stages {
@@ -152,13 +174,14 @@ func (r Report) String() string {
 }
 
 // Rollout executes a staged distribution of bundle to the fleet. Vehicles
-// are ordered by ID for determinism; each is attempted at most once. Within
-// a stage, applies run with bounded parallelism (Plan.Workers) while the
-// report keeps exact fleet order; stages stay sequential because each
+// are ordered by ID for determinism (a stable sort, and duplicate IDs are
+// rejected outright — see ErrDuplicateID); each is attempted at most once.
+// Within a stage, applies run with bounded parallelism (Plan.Workers) while
+// the report keeps exact fleet order; stages stay sequential because each
 // stage's failure rate gates the next. When a stage's failure rate exceeds
-// the plan's threshold the rollout stops before the next stage
-// (already-updated vehicles keep the new policy; the store's version
-// monotonicity makes re-running the rollout after a fix safe and
+// the plan's threshold — or a Plan.Gate vetoes — the rollout stops before
+// the next stage (already-updated vehicles keep the new policy; the store's
+// version monotonicity makes re-running the rollout after a fix safe and
 // idempotent).
 func Rollout(fleetVehicles []Vehicle, bundle *policy.Bundle, plan Plan) (Report, error) {
 	if err := plan.Validate(); err != nil {
@@ -168,15 +191,23 @@ func Rollout(fleetVehicles []Vehicle, bundle *policy.Bundle, plan Plan) (Report,
 		return Report{}, errors.New("fleet: nil bundle")
 	}
 	ordered := append([]Vehicle(nil), fleetVehicles...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID() < ordered[j].ID() })
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].ID() < ordered[j].ID() })
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].ID() == ordered[i-1].ID() {
+			return Report{}, fmt.Errorf("%w: %q", ErrDuplicateID, ordered[i].ID())
+		}
+	}
 
 	report := Report{BundleVersion: bundle.Version}
 	total := len(ordered)
 	done := 0
 	for idx, frac := range plan.Stages {
-		upTo := int(frac * float64(total))
+		// Integer rounding, not truncation: float artifacts like 0.7*10 ==
+		// 6.999... must not shift a cohort boundary off the documented
+		// fraction. Monotone in frac, so cohorts never overlap.
+		upTo := int(math.Round(frac * float64(total)))
 		if idx == len(plan.Stages)-1 {
-			upTo = total // avoid float truncation dropping the tail
+			upTo = total // the final stage always covers the whole fleet
 		}
 		if upTo <= done {
 			// Tiny fleets can make early stages empty; skip but record.
@@ -203,6 +234,14 @@ func Rollout(fleetVehicles []Vehicle, bundle *policy.Bundle, plan Plan) (Report,
 			report.Aborted = true
 			report.AbortedAtStage = idx
 			break
+		}
+		if plan.Gate != nil {
+			if gerr := plan.Gate(sr); gerr != nil {
+				report.Aborted = true
+				report.AbortedAtStage = idx
+				report.GateVeto = gerr.Error()
+				break
+			}
 		}
 	}
 	return report, nil

@@ -327,3 +327,111 @@ func TestRolloutParallelMatchesSerialReport(t *testing.T) {
 			serial.String(), parallel.String())
 	}
 }
+
+func TestRolloutRejectsDuplicateIDs(t *testing.T) {
+	vehicles := fakeFleet(5, nil)
+	vehicles = append(vehicles, VehicleFunc{VID: "VIN-0002", Fn: func(*policy.Bundle) error { return nil }})
+	_, err := Rollout(vehicles, testBundle(t, 1), DefaultPlan())
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate ID accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "VIN-0002") {
+		t.Errorf("error does not name the colliding VIN: %v", err)
+	}
+}
+
+func TestRolloutStageBoundariesRounded(t *testing.T) {
+	// Cohort boundaries are the ROUNDED cumulative fractions, not truncated:
+	// int(frac*total) suffers float artifacts (0.7*10 == 6.999...) and
+	// truncation bias on half-cohorts. Expectations are the exact
+	// math.Round(frac*total) values under DefaultPlan {1%, 10%, 50%, 100%}.
+	cases := []struct {
+		total      int
+		boundaries []int // cumulative vehicles after each stage
+	}{
+		{1, []int{0, 0, 1, 1}},
+		{3, []int{0, 0, 2, 3}},
+		{10, []int{0, 1, 5, 10}},
+		{55, []int{1, 6, 28, 55}}, // 0.55->1, 5.5->6, 27.5->28: round half away from zero
+		{1_000_000, []int{10_000, 100_000, 500_000, 1_000_000}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("total=%d", tc.total), func(t *testing.T) {
+			r, err := Rollout(fakeFleet(tc.total, nil), testBundle(t, 1), DefaultPlan())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Stages) != len(tc.boundaries) {
+				t.Fatalf("stages = %d, want %d", len(r.Stages), len(tc.boundaries))
+			}
+			cum := 0
+			for i, s := range r.Stages {
+				cum += s.Attempted
+				if cum != tc.boundaries[i] {
+					t.Errorf("after stage %d: %d vehicles updated, want %d", i, cum, tc.boundaries[i])
+				}
+			}
+			if r.Applied != tc.total {
+				t.Errorf("applied = %d, want the whole fleet (%d)", r.Applied, tc.total)
+			}
+		})
+	}
+}
+
+func TestRolloutGateVeto(t *testing.T) {
+	// The gate fires once per non-empty stage that clears the threshold; a
+	// veto aborts like a threshold breach and lands verbatim in the report.
+	var gated []int
+	plan := DefaultPlan()
+	plan.Gate = func(s StageReport) error {
+		gated = append(gated, s.Stage)
+		if s.Stage == 2 {
+			return errors.New("canary evidence regressed")
+		}
+		return nil
+	}
+	r, err := Rollout(fakeFleet(200, nil), testBundle(t, 3), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Aborted || r.AbortedAtStage != 2 {
+		t.Fatalf("gate veto did not abort at stage 2: %+v", r)
+	}
+	if r.GateVeto != "canary evidence regressed" {
+		t.Errorf("GateVeto = %q", r.GateVeto)
+	}
+	if len(gated) != 3 || gated[0] != 0 || gated[2] != 2 {
+		t.Errorf("gate consulted for stages %v, want [0 1 2]", gated)
+	}
+	if !strings.Contains(r.String(), "(gate: canary evidence regressed)") {
+		t.Errorf("rendering lacks the veto: %q", r.String())
+	}
+}
+
+func TestRolloutGateSkippedForEmptyAndAbortedStages(t *testing.T) {
+	var gated []int
+	plan := DefaultPlan()
+	plan.Gate = func(s StageReport) error {
+		gated = append(gated, s.Stage)
+		return nil
+	}
+	// 3 vehicles: stages 0 and 1 are empty — the gate must not see them.
+	if _, err := Rollout(fakeFleet(3, nil), testBundle(t, 1), plan); err != nil {
+		t.Fatal(err)
+	}
+	if len(gated) != 2 || gated[0] != 2 || gated[1] != 3 {
+		t.Fatalf("gate consulted for stages %v, want [2 3]", gated)
+	}
+	// A stage that breaches the threshold aborts before its gate runs.
+	gated = nil
+	r, err := Rollout(fakeFleet(200, map[int]bool{0: true, 1: true}), testBundle(t, 1), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Aborted || r.GateVeto != "" {
+		t.Fatalf("report = %+v", r)
+	}
+	if len(gated) != 0 {
+		t.Errorf("gate consulted after threshold abort: stages %v", gated)
+	}
+}

@@ -109,6 +109,13 @@ type Store struct {
 	listeners []UpdateListener
 	applied   uint64
 	rejected  uint64
+
+	// deliverMu sequences listener delivery in install order. Apply acquires
+	// it while still holding mu (lock order mu → deliverMu, never reversed),
+	// so two racing successful applies (v2, v3) cannot deliver callbacks out
+	// of order: whoever installed first delivers first, and a subscriber's
+	// last-observed version is monotone.
+	deliverMu sync.Mutex
 }
 
 // NewStore creates a store trusting the given OEM public key and compiling
@@ -174,10 +181,19 @@ func (s *Store) Apply(b *Bundle) (*Compiled, error) {
 	s.set = set
 	s.applied++
 	listeners := append([]UpdateListener(nil), s.listeners...)
+	// Take the delivery lock before releasing mu: the apply that installed
+	// v2 then holds the delivery turn before the apply installing v3 can
+	// even commit, so subscribers observe versions in install order. mu is
+	// released before the callbacks run, so listeners may read back into
+	// the store (Current, CurrentSet, Stats) without deadlocking; a
+	// listener must not call Apply from its own goroutine (delivery is
+	// sequenced, so that would self-deadlock).
+	s.deliverMu.Lock()
 	s.mu.Unlock()
 	for _, l := range listeners {
 		l(compiled)
 	}
+	s.deliverMu.Unlock()
 	return compiled, nil
 }
 

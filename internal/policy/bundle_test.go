@@ -239,3 +239,50 @@ func TestStoreConcurrentApply(t *testing.T) {
 		t.Error("set/compiled version skew")
 	}
 }
+
+// TestStoreListenerDeliveryOrder races many successful applies against a
+// subscriber and asserts the monotone-version delivery guarantee: because
+// Apply takes the delivery lock while still holding the store lock, the
+// apply that installed v(k) always notifies before the apply that installed
+// v(k+1) — a subscriber's last-observed version can never regress.
+func TestStoreListenerDeliveryOrder(t *testing.T) {
+	pub, priv := testKeys(t)
+	store := NewStore(pub, storeOpts())
+	var (
+		mu   sync.Mutex
+		seen []uint64
+	)
+	store.Subscribe(func(c *Compiled) {
+		mu.Lock()
+		seen = append(seen, c.Version)
+		mu.Unlock()
+	})
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		b, err := Sign(policySrc(i), priv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = store.Apply(b) // stale rejections are expected
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 {
+		t.Fatal("no listener deliveries")
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("listener observed version regression: %v", seen)
+		}
+	}
+	applied, _ := store.Stats()
+	if uint64(len(seen)) != applied {
+		t.Errorf("deliveries %d != applies %d", len(seen), applied)
+	}
+}

@@ -36,9 +36,11 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/car"
 	"repro/internal/chaos"
+	"repro/internal/shard"
 	"repro/internal/threatmodel"
 )
 
@@ -145,6 +147,18 @@ type RunConfig struct {
 	// PolicyBackend names the policy backend vehicles enforce with; the
 	// profile is byte-identical across backends (decision equivalence).
 	PolicyBackend string
+	// Harness, when non-nil, overrides the backend-derived harness so the
+	// sweep enforces with exactly this compiled policy — the OTA rollout
+	// driver measures candidate bundles this way before any vehicle
+	// installs them.
+	Harness *attack.Harness
+	// Shards partitions the sweep's fleet into that many contiguous index
+	// ranges run as independent engine runs; the profile is byte-identical
+	// across shard counts (<=1: unsharded).
+	Shards int
+	// SpawnShard, when non-nil, runs each shard range out of process (see
+	// campaign.SweepConfig.SpawnShard).
+	SpawnShard shard.Spawn
 }
 
 // Outcome bundles every artifact of one risk run.
@@ -188,12 +202,16 @@ func Compile(sp *Spec) (*Outcome, error) {
 	return &Outcome{Analysis: a, Spec: spec, Plan: plan}, nil
 }
 
-// Run executes the full pipeline: analyse the model, synthesize the
-// campaign, sweep it on the fleet engine, and calibrate the profile.
-func Run(sp *Spec, rc RunConfig) (*Outcome, error) {
+// SweepSetup compiles the spec and resolves the sweep configuration the
+// pipeline runs under — the spec's Fleet/RootSeed win over the config's, so
+// a shipped spec yields one well-defined profile whatever flags the caller
+// passes. Exported so a subprocess shard can rebuild the exact whole-fleet
+// configuration its parent partitions (via campaign.EngineConfig) from the
+// same spec file and flags.
+func SweepSetup(sp *Spec, rc RunConfig) (*Outcome, campaign.SweepConfig, error) {
 	out, err := Compile(sp)
 	if err != nil {
-		return nil, err
+		return nil, campaign.SweepConfig{}, err
 	}
 	fleet := rc.Fleet
 	if sp.Fleet > 0 {
@@ -203,7 +221,7 @@ func Run(sp *Spec, rc RunConfig) (*Outcome, error) {
 	if sp.RootSeed != 0 {
 		root = sp.RootSeed
 	}
-	rep, err := campaign.Sweep(out.Plan, campaign.SweepConfig{
+	return out, campaign.SweepConfig{
 		Fleet:         fleet,
 		Workers:       rc.Workers,
 		RootSeed:      root,
@@ -213,7 +231,20 @@ func Run(sp *Spec, rc RunConfig) (*Outcome, error) {
 		VerifySample:  rc.VerifySample,
 		MaxRetries:    rc.MaxRetries,
 		PolicyBackend: rc.PolicyBackend,
-	})
+		Harness:       rc.Harness,
+		Shards:        rc.Shards,
+		SpawnShard:    rc.SpawnShard,
+	}, nil
+}
+
+// Run executes the full pipeline: analyse the model, synthesize the
+// campaign, sweep it on the fleet engine, and calibrate the profile.
+func Run(sp *Spec, rc RunConfig) (*Outcome, error) {
+	out, scfg, err := SweepSetup(sp, rc)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := campaign.Sweep(out.Plan, scfg)
 	out.Report = rep
 	if err != nil {
 		// An unrecoverable sweep still yields the partial campaign report

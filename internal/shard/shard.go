@@ -1,0 +1,198 @@
+// Package shard partitions a fleet sweep across multiple engine runs — and,
+// through a caller-supplied spawn hook, across multiple processes — without
+// perturbing a single vehicle's trajectory.
+//
+// The engine already guarantees that vehicle i is a pure function of
+// (config, root seed, i): seeds derive from the global index, and every
+// supervision coordinate (chaos fault rolls, verify sampling) keys on it
+// too. Sharding therefore only has to preserve the index space. A shard is
+// a contiguous range [Start, Start+Count) of global vehicle indices run as
+// an independent engine.Run with Config.IndexOffset = Start; the merge
+// concatenates shard vehicle slices in range order and folds them through
+// engine.Merge — the same fold the unsharded run applies, in the same
+// order, so the merged report is byte-identical to the unsharded oracle
+// (float summation order included, Health ledgers summed per class).
+//
+// In-process shards run sequentially — each shard's engine.Run is itself
+// parallel across Config.Workers, and on a single machine stacking two
+// layers of parallelism only adds scheduler noise. The Spawn hook is where
+// real scale-out happens: carsim -shards N -shard-exec re-invokes itself
+// once per range and decodes each child's wire report, and the same hook
+// shape would drive genuinely remote shard hosts. See DESIGN.md §13.
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// Range is one shard's slice of the global vehicle index space.
+type Range struct {
+	// Start is the first global vehicle index of the shard.
+	Start int
+	// Count is the number of vehicles the shard simulates.
+	Count int
+}
+
+// String renders the range as "start:count" (the format carsim's hidden
+// -shard-range flag accepts).
+func (r Range) String() string { return fmt.Sprintf("%d:%d", r.Start, r.Count) }
+
+// ParseRange parses the "start:count" rendering of a Range.
+func ParseRange(s string) (Range, error) {
+	var r Range
+	if _, err := fmt.Sscanf(s, "%d:%d", &r.Start, &r.Count); err != nil {
+		return Range{}, fmt.Errorf("shard: bad range %q (want start:count): %w", s, err)
+	}
+	if r.Start < 0 || r.Count <= 0 {
+		return Range{}, fmt.Errorf("shard: bad range %q (start must be >= 0, count > 0)", s)
+	}
+	return r, nil
+}
+
+// Ranges partitions total vehicles into n contiguous ranges covering
+// [0, total) exactly once. Sizes differ by at most one (the remainder goes
+// to the earliest shards), so the layout is a pure function of (total, n).
+// n is clamped to [1, total]; empty shards never exist.
+func Ranges(total, n int) []Range {
+	if total <= 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	base, rem := total/n, total%n
+	out := make([]Range, n)
+	start := 0
+	for i := range out {
+		count := base
+		if i < rem {
+			count++
+		}
+		out[i] = Range{Start: start, Count: count}
+		start += count
+	}
+	return out
+}
+
+// WireReport is the serialized outcome of one shard — the subprocess wire
+// format. It reuses the engine's own report encoding (every field of
+// engine.VehicleReport is exported and JSON round-trips exactly, float64
+// included), framed with the range it covers so the parent can assert the
+// child ran the slice it was asked to.
+type WireReport struct {
+	// Range echoes the shard's index slice.
+	Range Range
+	// Vehicles are the shard's per-vehicle reports in global index order.
+	Vehicles []engine.VehicleReport
+	// Err carries the shard's sweep error text ("" on success): a shard that
+	// hits an unrecoverable cell still ships its partial vehicles, exactly
+	// as engine.Run returns the partial merged report alongside the error.
+	Err string
+}
+
+// Encode writes the wire report as a single JSON document.
+func (w *WireReport) Encode(out io.Writer) error {
+	return json.NewEncoder(out).Encode(w)
+}
+
+// DecodeWireReport reads one shard wire report.
+func DecodeWireReport(in io.Reader) (*WireReport, error) {
+	var w WireReport
+	if err := json.NewDecoder(in).Decode(&w); err != nil {
+		return nil, fmt.Errorf("shard: decode wire report: %w", err)
+	}
+	return &w, nil
+}
+
+// RunRange executes one shard in this process: cfg describes the WHOLE
+// fleet (total Fleet, zero IndexOffset); the shard simulates the global
+// vehicles in r. The returned wire report always carries whatever vehicles
+// completed, with Err set when the sweep was unrecoverable — callers
+// (subprocess children, the in-process driver) forward both.
+func RunRange(cfg engine.Config, r Range) *WireReport {
+	sub := cfg
+	sub.Fleet = r.Count
+	sub.IndexOffset = r.Start
+	w := &WireReport{Range: r}
+	fr, err := engine.Run(sub)
+	if fr != nil {
+		w.Vehicles = fr.Vehicles
+	}
+	if err != nil {
+		w.Err = err.Error()
+	}
+	return w
+}
+
+// Spawn runs one shard range somewhere else — typically a subprocess
+// re-invoking the same binary with a -shard-range flag — and returns its
+// decoded wire report. The hook owns process plumbing (argv, stdout
+// decoding, exit codes); the driver only consumes the report.
+type Spawn func(r Range) (*WireReport, error)
+
+// Config parameterises a sharded sweep.
+type Config struct {
+	// Engine is the WHOLE-fleet run configuration (total Fleet, the
+	// unsharded Workers value, zero IndexOffset). Each shard derives its
+	// sub-config from it; the merged report renders under it.
+	Engine engine.Config
+	// Shards is the number of contiguous ranges (clamped to [1, Fleet]).
+	Shards int
+	// Spawn, when non-nil, runs each range out of process; nil runs the
+	// ranges in this process, sequentially.
+	Spawn Spawn
+}
+
+// Run executes the sharded sweep and merges shard outcomes deterministically
+// in range order. The merged report is byte-identical to the unsharded
+// engine.Run for every shard count, with or without the spawn hook: the
+// per-vehicle reports are pure functions of global indices, and the merge is
+// the engine's own fold over the same vehicle order. Like engine.Run, an
+// unrecoverable shard still yields the merged partial report alongside the
+// joined error.
+func Run(cfg Config) (*engine.FleetReport, error) {
+	ec := cfg.Engine
+	if ec.Fleet <= 0 {
+		ec.Fleet = 1
+	}
+	if ec.IndexOffset != 0 {
+		return nil, errors.New("shard: Engine.IndexOffset must be zero (the driver owns the index space)")
+	}
+	ranges := Ranges(ec.Fleet, cfg.Shards)
+	vehicles := make([]engine.VehicleReport, 0, ec.Fleet)
+	var errs []error
+	for _, r := range ranges {
+		var w *WireReport
+		if cfg.Spawn != nil {
+			var err error
+			if w, err = cfg.Spawn(r); err != nil {
+				return nil, fmt.Errorf("shard %s: %w", r, err)
+			}
+			if w.Range != r {
+				return nil, fmt.Errorf("shard %s: wire report covers %s", r, w.Range)
+			}
+			if len(w.Vehicles) > r.Count {
+				return nil, fmt.Errorf("shard %s: wire report carries %d vehicles", r, len(w.Vehicles))
+			}
+		} else {
+			w = RunRange(ec, r)
+		}
+		vehicles = append(vehicles, w.Vehicles...)
+		if w.Err != "" {
+			errs = append(errs, fmt.Errorf("shard %s: %s", r, w.Err))
+		}
+	}
+	merged, err := engine.Merge(ec, vehicles)
+	if err != nil {
+		return nil, err
+	}
+	return merged, errors.Join(errs...)
+}

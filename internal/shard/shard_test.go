@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/chaos"
+	"repro/internal/engine"
+)
+
+// TestRanges pins the contiguous-partition contract: ranges cover [0, total)
+// exactly once, sizes differ by at most one, remainder goes earliest.
+func TestRanges(t *testing.T) {
+	tests := []struct {
+		total, n int
+		want     []Range
+	}{
+		{1, 1, []Range{{0, 1}}},
+		{1, 4, []Range{{0, 1}}},                                   // clamped to total
+		{10, 4, []Range{{0, 3}, {3, 3}, {6, 2}, {8, 2}}},          // remainder earliest
+		{8, 4, []Range{{0, 2}, {2, 2}, {4, 2}, {6, 2}}},           // even split
+		{5, 0, []Range{{0, 5}}},                                   // clamped to 1
+		{1000000, 3, []Range{{0, 333334}, {333334, 333333}, {666667, 333333}}},
+	}
+	for _, tc := range tests {
+		got := Ranges(tc.total, tc.n)
+		if len(got) != len(tc.want) {
+			t.Errorf("Ranges(%d, %d) = %v, want %v", tc.total, tc.n, got, tc.want)
+			continue
+		}
+		covered := 0
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Ranges(%d, %d)[%d] = %v, want %v", tc.total, tc.n, i, got[i], tc.want[i])
+			}
+			if got[i].Start != covered {
+				t.Errorf("Ranges(%d, %d)[%d] not contiguous: start %d, want %d", tc.total, tc.n, i, got[i].Start, covered)
+			}
+			covered += got[i].Count
+		}
+		if covered != tc.total {
+			t.Errorf("Ranges(%d, %d) covers %d vehicles", tc.total, tc.n, covered)
+		}
+	}
+	if got := Ranges(0, 4); got != nil {
+		t.Errorf("Ranges(0, 4) = %v, want nil", got)
+	}
+}
+
+func TestParseRangeRoundTrip(t *testing.T) {
+	for _, r := range Ranges(1000, 7) {
+		got, err := ParseRange(r.String())
+		if err != nil {
+			t.Fatalf("ParseRange(%q): %v", r, err)
+		}
+		if got != r {
+			t.Errorf("ParseRange(%q) = %v", r, got)
+		}
+	}
+	for _, bad := range []string{"", "5", "-1:3", "0:0", "0:-2", "a:b"} {
+		if _, err := ParseRange(bad); err == nil {
+			t.Errorf("ParseRange(%q) accepted", bad)
+		}
+	}
+}
+
+// smallCfg is a fast whole-fleet config exercising live + MAC + attack
+// phases with a reduced scenario set.
+func smallCfg(fleet int) engine.Config {
+	return engine.Config{
+		Fleet:          fleet,
+		Workers:        2,
+		RootSeed:       0xC0FFEE,
+		Scenarios:      attack.Scenarios()[:2],
+		Regimes:        []attack.Enforcement{attack.EnforceNone, attack.EnforceHPE},
+		TrafficHorizon: 10 * time.Millisecond,
+	}
+}
+
+// TestShardedRunByteIdentical is the tentpole contract: the merged sharded
+// report renders byte-identically to the unsharded engine.Run for every
+// shard count, vehicle lines and all.
+func TestShardedRunByteIdentical(t *testing.T) {
+	cfg := smallCfg(9)
+	oracle, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.String()
+	for _, shards := range []int{1, 2, 4, 9, 20} {
+		got, err := Run(Config{Engine: cfg, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got.String() != want {
+			t.Errorf("shards=%d: merged report diverged from unsharded oracle\n--- oracle\n%s\n--- sharded\n%s", shards, want, got.String())
+		}
+	}
+}
+
+// TestShardedChaosHealthIdentical asserts shard-layout invariance under
+// armed supervision: chaos faults key on global vehicle indices, so the
+// Health ledger (and everything else) must not move when the shard layout
+// changes.
+func TestShardedChaosHealthIdentical(t *testing.T) {
+	cfg := smallCfg(8)
+	cfg.Chaos = &chaos.Plan{Seed: 7, Panic: 0.2, Corrupt: 0.1}
+	oracle, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.String()
+	if oracle.Health.IsZero() {
+		t.Fatal("chaos plan injected nothing; test needs a fault-bearing config")
+	}
+	for _, shards := range []int{2, 3, 8} {
+		got, err := Run(Config{Engine: cfg, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got.String() != want {
+			t.Errorf("shards=%d: chaos report diverged\n--- oracle\n%s\n--- sharded\n%s", shards, want, got.String())
+		}
+		if got.Health != oracle.Health {
+			t.Errorf("shards=%d: health ledger moved: %+v vs %+v", shards, got.Health, oracle.Health)
+		}
+	}
+}
+
+// TestSpawnedShardsByteIdentical drives the subprocess wire path without a
+// subprocess: the spawn hook runs the range in-process but round-trips the
+// wire report through its JSON encoding, proving the serialization carries
+// everything the merge needs.
+func TestSpawnedShardsByteIdentical(t *testing.T) {
+	cfg := smallCfg(6)
+	oracle, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawned := 0
+	got, err := Run(Config{Engine: cfg, Shards: 3, Spawn: func(r Range) (*WireReport, error) {
+		spawned++
+		var buf bytes.Buffer
+		if err := RunRange(cfg, r).Encode(&buf); err != nil {
+			return nil, err
+		}
+		return DecodeWireReport(&buf)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spawned != 3 {
+		t.Errorf("spawn hook ran %d times, want 3", spawned)
+	}
+	if got.String() != oracle.String() {
+		t.Errorf("spawned merge diverged from oracle\n--- oracle\n%s\n--- spawned\n%s", oracle.String(), got.String())
+	}
+}
+
+// TestShardedUnrecoverableSurfaces asserts the partial-report contract
+// across the shard boundary: an unrecoverable sweep error in one shard
+// surfaces from Run naming the range, and the merged report still carries
+// every shard's vehicles.
+func TestShardedUnrecoverableSurfaces(t *testing.T) {
+	cfg := smallCfg(4)
+	cfg.Chaos = &chaos.Plan{Seed: 3, Panic: 1, Persist: 99}
+	got, err := Run(Config{Engine: cfg, Shards: 2})
+	if err == nil {
+		t.Fatal("unrecoverable chaos sweep returned nil error")
+	}
+	if !strings.Contains(err.Error(), "shard ") {
+		t.Errorf("error does not name the shard: %v", err)
+	}
+	if got == nil || len(got.Vehicles) != 4 {
+		t.Fatalf("partial merged report missing vehicles: %+v", got)
+	}
+	if got.Health.Unrecoverable == 0 {
+		t.Error("merged health ledger lost the unrecoverable count")
+	}
+}
+
+// TestRunRejectsPreOffsetConfig pins the index-space ownership rule.
+func TestRunRejectsPreOffsetConfig(t *testing.T) {
+	cfg := smallCfg(4)
+	cfg.IndexOffset = 2
+	if _, err := Run(Config{Engine: cfg, Shards: 2}); err == nil {
+		t.Fatal("Run accepted a pre-offset engine config")
+	}
+}
