@@ -12,6 +12,8 @@
 //	E4  BenchmarkCampaignSweep             — procedural campaign sweeps (lite + quickstart)
 //	E5  BenchmarkRiskCalibrate             — threat-model → sweep → calibrated DREAD profile
 //	E7  BenchmarkShardedSweep              — sharded quickstart sweep (byte-identical merge)
+//	E7x BenchmarkShardedSweepExec          — subprocess fan-out per wire format and parallelism
+//	E8  BenchmarkShardWireEncode/Decode    — binary shard wire codec vs the JSON document
 //
 // plus the DESIGN.md §5 ablations (HPE lookup structure, AVC cache).
 // Domain metrics are attached via b.ReportMetric so `go test -bench` prints
@@ -19,8 +21,13 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -38,6 +45,8 @@ import (
 	"repro/internal/policy/ir"
 	"repro/internal/report"
 	"repro/internal/risk"
+	"repro/internal/shard"
+	"repro/internal/shard/wire"
 	"repro/internal/sim"
 	"repro/internal/threatmodel"
 )
@@ -599,6 +608,219 @@ func BenchmarkShardedSweep(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(1000)*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+			b.ReportMetric(float64(rep.Cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// wireBenchVehicles sweeps the quickstart campaign's engine configuration
+// over a small fleet and returns the vehicle reports — the payload corpus
+// the wire-codec benchmarks encode.
+func wireBenchVehicles(b *testing.B, fleet int) []engine.VehicleReport {
+	b.Helper()
+	plan := loadCampaign(b, "examples/campaigns/quickstart.campaign")
+	ecfg, err := campaign.EngineConfig(plan, campaign.SweepConfig{Fleet: fleet, RootSeed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr, err := engine.Run(ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fr.Vehicles
+}
+
+// BenchmarkShardWireEncode (E8) measures shard transport encoding: one full
+// shard stream (header + per-vehicle frames + trailer) on the binary wire
+// versus the PR 9 JSON document for the same vehicles. bytes/vehicle is the
+// wire-size series BENCH_8.json snapshots — the binary wire's headline claim
+// is >=5x smaller per vehicle than JSON.
+func BenchmarkShardWireEncode(b *testing.B) {
+	vs := wireBenchVehicles(b, 64)
+	b.Run("wire=binary", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			w := wire.NewWriter(&buf)
+			for j := range vs {
+				if err := w.WriteVehicle(&vs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.WriteTrailer(wire.Trailer{Start: 0, Count: len(vs)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len())/float64(len(vs)), "bytes/vehicle")
+		b.ReportMetric(float64(len(vs))*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+	})
+	b.Run("wire=json", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			w := &shard.WireReport{Range: shard.Range{Start: 0, Count: len(vs)}, Vehicles: vs}
+			if err := w.Encode(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len())/float64(len(vs)), "bytes/vehicle")
+		b.ReportMetric(float64(len(vs))*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+	})
+}
+
+// BenchmarkShardWireDecode (E8) is the parent's side of the transport: drain
+// one encoded shard stream back into vehicle reports, binary versus JSON.
+func BenchmarkShardWireDecode(b *testing.B) {
+	vs := wireBenchVehicles(b, 64)
+	b.Run("wire=binary", func(b *testing.B) {
+		var buf bytes.Buffer
+		w := wire.NewWriter(&buf)
+		for j := range vs {
+			if err := w.WriteVehicle(&vs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.WriteTrailer(wire.Trailer{Start: 0, Count: len(vs)}); err != nil {
+			b.Fatal(err)
+		}
+		stream := buf.Bytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := wire.NewReader(bytes.NewReader(stream))
+			n := 0
+			for {
+				v, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.Index != n {
+					b.Fatal("decode order broken")
+				}
+				n++
+			}
+			if n != len(vs) {
+				b.Fatalf("decoded %d of %d vehicles", n, len(vs))
+			}
+		}
+		b.ReportMetric(float64(len(stream))/float64(len(vs)), "bytes/vehicle")
+		b.ReportMetric(float64(len(vs))*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+	})
+	b.Run("wire=json", func(b *testing.B) {
+		var buf bytes.Buffer
+		w := &shard.WireReport{Range: shard.Range{Start: 0, Count: len(vs)}, Vehicles: vs}
+		if err := w.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+		doc := buf.Bytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dec, err := shard.DecodeWireReport(bytes.NewReader(doc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(dec.Vehicles) != len(vs) {
+				b.Fatalf("decoded %d of %d vehicles", len(dec.Vehicles), len(vs))
+			}
+		}
+		b.ReportMetric(float64(len(doc))/float64(len(vs)), "bytes/vehicle")
+		b.ReportMetric(float64(len(vs))*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+	})
+}
+
+// benchShardSpawn mirrors carsim's subprocess spawn hook for the exec
+// benchmark: re-invoke the built binary with -shard-range and stream its
+// stdout — buffered document on the JSON wire (the PR 9 path), incremental
+// frame decode on the binary wire.
+func benchShardSpawn(bin, wireFmt string, fleet int) shard.Spawn {
+	return func(r shard.Range) (shard.Stream, error) {
+		cmd := exec.Command(bin,
+			"-shard-range", r.String(),
+			"-shard-wire", wireFmt,
+			"-fleet", strconv.Itoa(fleet),
+			"-seed", "42",
+			"-campaign", "examples/campaigns/quickstart.campaign",
+		)
+		cmd.Stderr = os.Stderr
+		if wireFmt == "json" {
+			var out bytes.Buffer
+			cmd.Stdout = &out
+			if err := cmd.Run(); err != nil {
+				return nil, fmt.Errorf("subprocess shard %s: %w", r, err)
+			}
+			w, err := shard.DecodeWireReport(&out)
+			if err != nil {
+				return nil, err
+			}
+			return w.Stream(), nil
+		}
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("subprocess shard %s: %w", r, err)
+		}
+		return shard.NewWireStream(pipe, func() error {
+			pipe.Close()
+			if err := cmd.Wait(); err != nil {
+				return fmt.Errorf("subprocess shard %s: %w", r, err)
+			}
+			return nil
+		}), nil
+	}
+}
+
+// BenchmarkShardedSweepExec (E7) measures the out-of-process fan-out: the
+// quickstart sweep partitioned across real carsim subprocesses, per wire
+// format and parallelism level. wire=json/parallel=1 is the PR 9 sequential
+// path (buffered JSON documents); wire=binary rows stream frames through
+// the varint codec, and parallel=4 overlaps the four children under the
+// bounded fan-out. A separate top-level benchmark (not a ShardedSweep
+// sub-case) so CI can gate the in-process rows at high -benchtime without
+// paying subprocess spawn costs there.
+func BenchmarkShardedSweepExec(b *testing.B) {
+	bin := filepath.Join(b.TempDir(), "carsim")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/carsim").CombinedOutput(); err != nil {
+		b.Fatalf("go build ./cmd/carsim: %v\n%s", err, out)
+	}
+	plan := loadCampaign(b, "examples/campaigns/quickstart.campaign")
+	const fleet = 1000
+	cases := []struct {
+		wire     string
+		parallel int
+	}{
+		{"json", 1},
+		{"binary", 1},
+		{"binary", 4},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("quickstart/fleet=%d/shards=4/wire=%s/parallel=%d", fleet, tc.wire, tc.parallel)
+		b.Run(name, func(b *testing.B) {
+			var rep *campaign.CampaignReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = campaign.Sweep(plan, campaign.SweepConfig{
+					Fleet:            fleet,
+					RootSeed:         42,
+					Shards:           4,
+					SpawnShard:       benchShardSpawn(bin, tc.wire, fleet),
+					ShardParallelism: tc.parallel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Families[0].Regimes[len(rep.Families[0].Regimes)-1].Summary.BlockRate() != 1.0 {
+					b.Fatal("exec sharded sweep lost the HPE block-rate invariant")
+				}
+			}
+			b.ReportMetric(float64(fleet)*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
 			b.ReportMetric(float64(rep.Cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 		})
 	}

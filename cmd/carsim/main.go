@@ -65,6 +65,14 @@ type supervision struct {
 	// runs each range as a carsim subprocess speaking the shard wire format.
 	shards    int
 	shardExec bool
+	// shardWire selects the subprocess wire format: "binary" (the default
+	// streaming frame protocol) or "json" (PR 9's buffered document, the
+	// debugging fallback and differential-test oracle).
+	shardWire string
+	// shardParallelism bounds how many subprocess shards run concurrently
+	// (1: sequential, PR 9's behaviour). The merge still consumes shards in
+	// range order, so the report does not move.
+	shardParallelism int
 	// shardRange, when non-empty, puts this process in shard-child mode: run
 	// only that "start:count" slice of the whole-fleet config and write the
 	// wire report to stdout.
@@ -93,6 +101,8 @@ func main() {
 	policyBackend := flag.String("policy-backend", "", "policy enforcement backend for swept vehicles: "+strings.Join(ir.Names(), ", ")+" (default table)")
 	shards := flag.Int("shards", 0, "partition the fleet index space into N contiguous ranges run as independent engine runs; the merged report is byte-identical to the unsharded sweep")
 	shardExec := flag.Bool("shard-exec", false, "with -shards: run each shard as a carsim subprocess (shard wire format over stdout) instead of in-process")
+	shardWire := flag.String("shard-wire", "binary", "with -shard-exec: subprocess wire format, \"binary\" (streaming frame protocol) or \"json\" (buffered document; debugging fallback)")
+	shardParallelism := flag.Int("shard-parallelism", 1, "with -shard-exec: run up to P subprocess shards concurrently; the merge stays in range order, so the report is byte-identical at any P")
 	shardRange := flag.String("shard-range", "", "internal: run only this start:count slice of the fleet and emit the shard wire report on stdout (set by -shard-exec parents)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file when the run finishes")
@@ -115,9 +125,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "carsim: -shards %d is negative\n", *shards)
 		os.Exit(1)
 	}
+	if *shardWire != "binary" && *shardWire != "json" {
+		fmt.Fprintf(os.Stderr, "carsim: -shard-wire %q (want binary or json)\n", *shardWire)
+		os.Exit(1)
+	}
+	if *shardParallelism < 1 {
+		fmt.Fprintf(os.Stderr, "carsim: -shard-parallelism %d (want >= 1)\n", *shardParallelism)
+		os.Exit(1)
+	}
 	sup := supervision{
 		plan: plan, verify: *verifySample, backend: *policyBackend,
 		chaosSpec: *chaosSpec, shards: *shards, shardExec: *shardExec,
+		shardWire: *shardWire, shardParallelism: *shardParallelism,
 		shardRange: *shardRange,
 	}
 
@@ -285,10 +304,12 @@ func buildEngineConfig(campaignFile, riskFile, enforcement string, fleetSize, wo
 
 // runShardChild is the hidden -shard-range mode a -shard-exec parent spawns:
 // rebuild the whole-fleet configuration from the forwarded flags, run only
-// the assigned index slice, and write the shard wire report to stdout. The
-// child always exits 0 when the report is written — an unrecoverable sweep
-// travels in the report's Err field, exactly as engine.Run returns the
-// partial report alongside its error.
+// the assigned index slice, and write the shard wire stream to stdout — on
+// the binary wire, frame by frame as vehicles complete; on the JSON
+// fallback, one buffered document. The child always exits 0 when the stream
+// is written — an unrecoverable sweep travels in the trailer (or the
+// document's Err field), exactly as engine.Run returns the partial report
+// alongside its error.
 func runShardChild(campaignFile, riskFile, enforcement string, fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision) error {
 	r, err := shard.ParseRange(sup.shardRange)
 	if err != nil {
@@ -298,20 +319,27 @@ func runShardChild(campaignFile, riskFile, enforcement string, fleetSize, worker
 	if err != nil {
 		return err
 	}
-	return shard.RunRange(ecfg, r).Encode(os.Stdout)
+	if sup.shardWire == "json" {
+		return shard.RunRange(ecfg, r).Encode(os.Stdout)
+	}
+	return shard.RunRangeWire(ecfg, r, os.Stdout)
 }
 
 // shardSpawn returns the subprocess spawn hook: re-invoke this binary with
-// the run's own mode flags plus the child's -shard-range, and decode the
-// wire report from its stdout. Child stderr passes through for diagnostics.
+// the run's own mode flags plus the child's -shard-range, and stream the
+// wire format from its stdout. On the binary wire the child's pipe is
+// decoded incrementally (the parent never buffers a shard's report set);
+// the JSON fallback buffers the document as PR 9 did. Child stderr passes
+// through for diagnostics.
 func shardSpawn(campaignFile, riskFile, enforcement string, fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision) shard.Spawn {
-	return func(r shard.Range) (*shard.WireReport, error) {
+	return func(r shard.Range) (shard.Stream, error) {
 		exe, err := os.Executable()
 		if err != nil {
 			return nil, err
 		}
 		args := []string{
 			"-shard-range", r.String(),
+			"-shard-wire", sup.shardWire,
 			"-fleet", strconv.Itoa(fleetSize),
 			"-workers", strconv.Itoa(workers),
 			"-seed", strconv.FormatUint(seed, 10),
@@ -341,12 +369,34 @@ func shardSpawn(campaignFile, riskFile, enforcement string, fleetSize, workers i
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr
-		var out bytes.Buffer
-		cmd.Stdout = &out
-		if err := cmd.Run(); err != nil {
+		if sup.shardWire == "json" {
+			var out bytes.Buffer
+			cmd.Stdout = &out
+			if err := cmd.Run(); err != nil {
+				return nil, fmt.Errorf("subprocess shard %s: %w", r, err)
+			}
+			w, err := shard.DecodeWireReport(&out)
+			if err != nil {
+				return nil, err
+			}
+			return w.Stream(), nil
+		}
+		pipe, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
 			return nil, fmt.Errorf("subprocess shard %s: %w", r, err)
 		}
-		return shard.DecodeWireReport(&out)
+		return shard.NewWireStream(pipe, func() error {
+			// Closing the read end first unblocks a child still writing
+			// after a mid-stream decode error, so Wait cannot hang.
+			pipe.Close()
+			if err := cmd.Wait(); err != nil {
+				return fmt.Errorf("subprocess shard %s: %w", r, err)
+			}
+			return nil
+		}), nil
 	}
 }
 
@@ -355,32 +405,34 @@ func shardSpawn(campaignFile, riskFile, enforcement string, fleetSize, workers i
 // child — its slice IS the work).
 func campaignSweepConfig(fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision, spawn shard.Spawn) campaign.SweepConfig {
 	return campaign.SweepConfig{
-		Fleet:         fleetSize,
-		Workers:       workers,
-		RootSeed:      seed,
-		FreshVehicles: !reuse,
-		NoBatch:       noBatch,
-		Chaos:         sup.plan,
-		VerifySample:  sup.verify,
-		PolicyBackend: sup.backend,
-		Shards:        sup.shards,
-		SpawnShard:    spawn,
+		Fleet:            fleetSize,
+		Workers:          workers,
+		RootSeed:         seed,
+		FreshVehicles:    !reuse,
+		NoBatch:          noBatch,
+		Chaos:            sup.plan,
+		VerifySample:     sup.verify,
+		PolicyBackend:    sup.backend,
+		Shards:           sup.shards,
+		SpawnShard:       spawn,
+		ShardParallelism: sup.shardParallelism,
 	}
 }
 
 // riskRunConfig is campaignSweepConfig's counterpart for the risk pipeline.
 func riskRunConfig(fleetSize, workers int, seed uint64, reuse, noBatch bool, sup supervision, spawn shard.Spawn) risk.RunConfig {
 	return risk.RunConfig{
-		Fleet:         fleetSize,
-		Workers:       workers,
-		RootSeed:      seed,
-		FreshVehicles: !reuse,
-		NoBatch:       noBatch,
-		Chaos:         sup.plan,
-		VerifySample:  sup.verify,
-		PolicyBackend: sup.backend,
-		Shards:        sup.shards,
-		SpawnShard:    spawn,
+		Fleet:            fleetSize,
+		Workers:          workers,
+		RootSeed:         seed,
+		FreshVehicles:    !reuse,
+		NoBatch:          noBatch,
+		Chaos:            sup.plan,
+		VerifySample:     sup.verify,
+		PolicyBackend:    sup.backend,
+		Shards:           sup.shards,
+		SpawnShard:       spawn,
+		ShardParallelism: sup.shardParallelism,
 	}
 }
 
@@ -521,7 +573,10 @@ func runFleet(fleetSize, workers int, seed uint64, enforcement string, reuse, no
 		if sup.shardExec {
 			spawn = shardSpawn("", "", enforcement, fleetSize, workers, seed, reuse, noBatch, sup)
 		}
-		fr, err = shard.Run(shard.Config{Engine: ecfg, Shards: sup.shards, Spawn: spawn})
+		fr, err = shard.Run(shard.Config{
+			Engine: ecfg, Shards: sup.shards,
+			Spawn: spawn, Parallelism: sup.shardParallelism,
+		})
 	} else {
 		fr, err = engine.Run(ecfg)
 	}

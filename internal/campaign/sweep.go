@@ -61,6 +61,10 @@ type SweepConfig struct {
 	// implies sharded execution even when Shards <= 1); carsim wires it to
 	// re-invoke itself with -shard-range.
 	SpawnShard shard.Spawn
+	// ShardParallelism bounds how many spawned shards run concurrently
+	// (<=1: sequential). The merge stays in range order, so the report is
+	// byte-identical at any level.
+	ShardParallelism int
 }
 
 // FamilyReport is one family's fleet-merged outcome.
@@ -127,7 +131,10 @@ func Sweep(plan *Plan, cfg SweepConfig) (*CampaignReport, error) {
 	}
 	var fr *engine.FleetReport
 	if cfg.Shards > 1 || cfg.SpawnShard != nil {
-		fr, err = shard.Run(shard.Config{Engine: ecfg, Shards: cfg.Shards, Spawn: cfg.SpawnShard})
+		fr, err = shard.Run(shard.Config{
+			Engine: ecfg, Shards: cfg.Shards,
+			Spawn: cfg.SpawnShard, Parallelism: cfg.ShardParallelism,
+		})
 	} else {
 		fr, err = engine.Run(ecfg)
 	}

@@ -193,6 +193,18 @@ type Config struct {
 	// Virtual time, not wall time — healthy cells finish in simulated
 	// milliseconds. Default 1 minute.
 	CellTimeBudget time.Duration
+	// OnVehicle, when non-nil, is invoked once per completed vehicle
+	// report in ascending vehicle-index order, as soon as every
+	// lower-indexed vehicle has also completed — the streaming emit hook
+	// the binary shard wire writes frames from. Callbacks run serialised
+	// under an internal lock (never concurrently) on worker goroutines;
+	// the report pointer is only valid for the duration of the call.
+	// Errored vehicles still emit their (partial) report, mirroring how
+	// Run merges partial reports into the fleet result. Because vehicles
+	// are claimed in index order off an atomic cursor, completion order
+	// tracks index order and the emitter's reorder window stays near the
+	// worker count.
+	OnVehicle func(*VehicleReport)
 }
 
 func (c *Config) applyDefaults() error {
@@ -284,10 +296,10 @@ type shared struct {
 // the one case liveOK is never set. One memo per worker (never shared):
 // writes stay single-owner like the arena they ride with.
 type vehicleMemo struct {
-	attacks   [][]attack.RegimeSummary // per-group aggregates, copied per vehicle
-	attacksOK bool
-	live      VehicleReport // live-phase counters only
-	liveOK    bool
+	attacks               [][]attack.RegimeSummary // per-group aggregates, copied per vehicle
+	attacksOK             bool
+	live                  VehicleReport // live-phase counters only
+	liveOK                bool
 	macChecks, macAllowed int
 	macOK                 bool
 }
@@ -366,6 +378,10 @@ func Run(cfg Config) (*FleetReport, error) {
 	// (reports are slotted by index) with zero coordination cost.
 	reports := make([]VehicleReport, cfg.Fleet)
 	errs := make([]error, cfg.Fleet)
+	var emit *orderedEmit
+	if cfg.OnVehicle != nil {
+		emit = newOrderedEmit(cfg.OnVehicle, reports)
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -388,6 +404,9 @@ func Run(cfg Config) (*FleetReport, error) {
 						if !reported {
 							errs[i] = err
 							reported = true
+						}
+						if emit != nil {
+							emit.complete(i)
 						}
 					}
 				}
@@ -412,6 +431,9 @@ func Run(cfg Config) (*FleetReport, error) {
 					reports[i], errs[i] = ar.runVehicle(sh, i+cfg.IndexOffset, memo)
 				} else {
 					reports[i], errs[i] = runVehicle(sh, i+cfg.IndexOffset, memo)
+				}
+				if emit != nil {
+					emit.complete(i)
 				}
 			}
 		}()
@@ -756,49 +778,13 @@ func Merge(cfg Config, vehicles []VehicleReport) (*FleetReport, error) {
 }
 
 // merge folds per-vehicle reports (in index order) into the fleet report:
-// per-group regime aggregates first, then the flattened per-regime view.
+// the batch form of MergeFold — the fold walked over a slice, retaining
+// the slice itself as the report's vehicle view (no copy).
 func merge(cfg Config, vehicles []VehicleReport) *FleetReport {
-	fr := &FleetReport{
-		Fleet:    cfg.Fleet,
-		Workers:  cfg.Workers,
-		RootSeed: cfg.RootSeed,
-		Vehicles: vehicles,
-		Groups:   make([]GroupReport, len(cfg.Groups)),
+	m := newMergeFold(cfg)
+	for i := range vehicles {
+		m.fold(&vehicles[i])
 	}
-	for gi := range cfg.Groups {
-		g := &cfg.Groups[gi]
-		fr.Groups[gi].Name = g.Name
-		fr.Groups[gi].RootSeed = g.RootSeed
-		fr.Groups[gi].Regimes = make([]attack.RegimeSummary, len(g.Regimes))
-		for ri, enf := range g.Regimes {
-			fr.Groups[gi].Regimes[ri].Regime = enf
-		}
-	}
-	fr.HealthEnabled = cfg.Chaos.Active() || cfg.VerifySample > 0
-	var utilSum float64
-	for _, v := range vehicles {
-		fr.Health.Merge(v.Health)
-		fr.FramesDelivered += v.FramesDelivered
-		fr.BusErrors += v.BusErrors
-		fr.WriteBlocked += v.WriteBlocked
-		fr.ReadBlocked += v.ReadBlocked
-		fr.AbortedTx += v.AbortedTx
-		fr.MACChecks += v.MACChecks
-		fr.MACAllowed += v.MACAllowed
-		utilSum += v.Utilisation
-		for gi := range v.Groups {
-			for ri := range v.Groups[gi] {
-				fr.Groups[gi].Regimes[ri].Summary.Merge(v.Groups[gi][ri].Summary)
-			}
-		}
-	}
-	groupRegimes := make([][]attack.RegimeSummary, len(fr.Groups))
-	for gi := range fr.Groups {
-		groupRegimes[gi] = fr.Groups[gi].Regimes
-	}
-	fr.Attacks = foldGroups(groupRegimes)
-	if len(vehicles) > 0 {
-		fr.MeanUtilisation = utilSum / float64(len(vehicles))
-	}
-	return fr
+	m.fr.Vehicles = vehicles
+	return m.finish()
 }

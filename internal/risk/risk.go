@@ -159,6 +159,9 @@ type RunConfig struct {
 	// SpawnShard, when non-nil, runs each shard range out of process (see
 	// campaign.SweepConfig.SpawnShard).
 	SpawnShard shard.Spawn
+	// ShardParallelism bounds how many spawned shards run concurrently
+	// (see campaign.SweepConfig.ShardParallelism).
+	ShardParallelism int
 }
 
 // Outcome bundles every artifact of one risk run.
@@ -222,18 +225,19 @@ func SweepSetup(sp *Spec, rc RunConfig) (*Outcome, campaign.SweepConfig, error) 
 		root = sp.RootSeed
 	}
 	return out, campaign.SweepConfig{
-		Fleet:         fleet,
-		Workers:       rc.Workers,
-		RootSeed:      root,
-		FreshVehicles: rc.FreshVehicles,
-		NoBatch:       rc.NoBatch,
-		Chaos:         rc.Chaos,
-		VerifySample:  rc.VerifySample,
-		MaxRetries:    rc.MaxRetries,
-		PolicyBackend: rc.PolicyBackend,
-		Harness:       rc.Harness,
-		Shards:        rc.Shards,
-		SpawnShard:    rc.SpawnShard,
+		Fleet:            fleet,
+		Workers:          rc.Workers,
+		RootSeed:         root,
+		FreshVehicles:    rc.FreshVehicles,
+		NoBatch:          rc.NoBatch,
+		Chaos:            rc.Chaos,
+		VerifySample:     rc.VerifySample,
+		MaxRetries:       rc.MaxRetries,
+		PolicyBackend:    rc.PolicyBackend,
+		Harness:          rc.Harness,
+		Shards:           rc.Shards,
+		SpawnShard:       rc.SpawnShard,
+		ShardParallelism: rc.ShardParallelism,
 	}, nil
 }
 

@@ -2,6 +2,8 @@ package shard
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/chaos"
 	"repro/internal/engine"
+	"repro/internal/shard/wire"
 )
 
 // TestRanges pins the contiguous-partition contract: ranges cover [0, total)
@@ -19,10 +22,10 @@ func TestRanges(t *testing.T) {
 		want     []Range
 	}{
 		{1, 1, []Range{{0, 1}}},
-		{1, 4, []Range{{0, 1}}},                                   // clamped to total
-		{10, 4, []Range{{0, 3}, {3, 3}, {6, 2}, {8, 2}}},          // remainder earliest
-		{8, 4, []Range{{0, 2}, {2, 2}, {4, 2}, {6, 2}}},           // even split
-		{5, 0, []Range{{0, 5}}},                                   // clamped to 1
+		{1, 4, []Range{{0, 1}}},                          // clamped to total
+		{10, 4, []Range{{0, 3}, {3, 3}, {6, 2}, {8, 2}}}, // remainder earliest
+		{8, 4, []Range{{0, 2}, {2, 2}, {4, 2}, {6, 2}}},  // even split
+		{5, 0, []Range{{0, 5}}},                          // clamped to 1
 		{1000000, 3, []Range{{0, 333334}, {333334, 333333}, {666667, 333333}}},
 	}
 	for _, tc := range tests {
@@ -60,7 +63,13 @@ func TestParseRangeRoundTrip(t *testing.T) {
 			t.Errorf("ParseRange(%q) = %v", r, got)
 		}
 	}
-	for _, bad := range []string{"", "5", "-1:3", "0:0", "0:-2", "a:b"} {
+	for _, bad := range []string{
+		"", "5", "-1:3", "0:0", "0:-2", "a:b",
+		// fmt.Sscanf leniency regressions: trailing garbage, embedded
+		// garbage, whitespace, signs and extra fields must all be
+		// rejected, not truncated into a plausible range.
+		"0:5x", "0x1:5", " 0:5", "0:5 ", "0: 5", "1:2:3", "+1:5", "0:+5", "١:٥",
+	} {
 		if _, err := ParseRange(bad); err == nil {
 			t.Errorf("ParseRange(%q) accepted", bad)
 		}
@@ -141,13 +150,17 @@ func TestSpawnedShardsByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	spawned := 0
-	got, err := Run(Config{Engine: cfg, Shards: 3, Spawn: func(r Range) (*WireReport, error) {
+	got, err := Run(Config{Engine: cfg, Shards: 3, Spawn: func(r Range) (Stream, error) {
 		spawned++
 		var buf bytes.Buffer
 		if err := RunRange(cfg, r).Encode(&buf); err != nil {
 			return nil, err
 		}
-		return DecodeWireReport(&buf)
+		w, err := DecodeWireReport(&buf)
+		if err != nil {
+			return nil, err
+		}
+		return w.Stream(), nil
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -188,5 +201,174 @@ func TestRunRejectsPreOffsetConfig(t *testing.T) {
 	cfg.IndexOffset = 2
 	if _, err := Run(Config{Engine: cfg, Shards: 2}); err == nil {
 		t.Fatal("Run accepted a pre-offset engine config")
+	}
+}
+
+// wireSpawn is a binary-wire spawn hook without a subprocess: RunRangeWire
+// streams frames into a pipe from a goroutine (real producer/consumer
+// concurrency, no pre-buffered document) and the stream decodes the read
+// end, exactly the shape carsim's -shard-exec hook has.
+func wireSpawn(cfg engine.Config) Spawn {
+	return func(r Range) (Stream, error) {
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(RunRangeWire(cfg, r, pw)) }()
+		return NewWireStream(pr, pr.Close), nil
+	}
+}
+
+// TestBinaryWireStreamByteIdentical proves the binary protocol carries
+// everything the merge needs: streaming frames through a pipe renders the
+// same bytes as the unsharded oracle.
+func TestBinaryWireStreamByteIdentical(t *testing.T) {
+	cfg := smallCfg(7)
+	oracle, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(Config{Engine: cfg, Shards: 3, Spawn: wireSpawn(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != oracle.String() {
+		t.Errorf("binary wire merge diverged from oracle\n--- oracle\n%s\n--- wire\n%s", oracle.String(), got.String())
+	}
+}
+
+// TestParallelFanOutByteIdentical pins the concurrent-driver contract:
+// whatever the parallelism level and however small the reorder window,
+// shards merge strictly in range order and the report does not move a
+// byte. Window 1 forces every ahead-of-cursor producer to block, the
+// harshest reorder schedule.
+func TestParallelFanOutByteIdentical(t *testing.T) {
+	cfg := smallCfg(9)
+	oracle, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.String()
+	for _, par := range []int{2, 4, 16} {
+		for _, window := range []int{1, 3, 0} {
+			got, err := Run(Config{
+				Engine: cfg, Shards: 4, Spawn: wireSpawn(cfg),
+				Parallelism: par, Window: window,
+			})
+			if err != nil {
+				t.Fatalf("parallelism=%d window=%d: %v", par, window, err)
+			}
+			if got.String() != want {
+				t.Errorf("parallelism=%d window=%d: merged report diverged from oracle", par, window)
+			}
+		}
+	}
+}
+
+// TestSpawnErrorPartialReport is the satellite regression: a Spawn error
+// must be recorded like a shard sweep failure — the remaining ranges
+// still merge and Run returns the partial report alongside the error —
+// not discard every already-collected shard's vehicles.
+func TestSpawnErrorPartialReport(t *testing.T) {
+	cfg := smallCfg(8)
+	boom := errors.New("host unreachable")
+	spawn := func(r Range) (Stream, error) {
+		if r.Start == 2 { // the second of four 2-vehicle ranges
+			return nil, boom
+		}
+		return RunRange(cfg, r).Stream(), nil
+	}
+	for _, par := range []int{1, 3} {
+		got, err := Run(Config{Engine: cfg, Shards: 4, Spawn: spawn, Parallelism: par})
+		if err == nil {
+			t.Fatalf("parallelism=%d: spawn failure surfaced no error", par)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("parallelism=%d: joined error lost the spawn cause: %v", par, err)
+		}
+		if !strings.Contains(err.Error(), "shard 2:2") {
+			t.Errorf("parallelism=%d: error does not name the failed range: %v", par, err)
+		}
+		if got == nil {
+			t.Fatalf("parallelism=%d: no partial report", par)
+		}
+		if len(got.Vehicles) != 6 {
+			t.Errorf("parallelism=%d: partial report carries %d vehicles, want 6 (the three healthy shards)", par, len(got.Vehicles))
+		}
+		for i, want := range []int{0, 1, 4, 5, 6, 7} {
+			if got.Vehicles[i].Index != want {
+				t.Errorf("parallelism=%d: vehicle %d has index %d, want %d", par, i, got.Vehicles[i].Index, want)
+			}
+		}
+	}
+}
+
+// TestTrailerMismatchRecorded pins the range-echo check: a stream
+// covering the wrong range is recorded, the rest still merges.
+func TestTrailerMismatchRecorded(t *testing.T) {
+	cfg := smallCfg(4)
+	spawn := func(r Range) (Stream, error) {
+		w := RunRange(cfg, r)
+		if r.Start == 0 {
+			w.Range = Range{Start: 99, Count: 1} // lie about coverage
+		}
+		return w.Stream(), nil
+	}
+	got, err := Run(Config{Engine: cfg, Shards: 2, Spawn: spawn})
+	if err == nil {
+		t.Fatal("range-echo mismatch surfaced no error")
+	}
+	if !strings.Contains(err.Error(), "covers 99:1") {
+		t.Errorf("error does not describe the mismatch: %v", err)
+	}
+	if got == nil || len(got.Vehicles) != 4 {
+		t.Fatalf("mismatched shard's vehicles were dropped: %+v", got)
+	}
+}
+
+// TestWireUnrecoverableSurfaces runs the unrecoverable-sweep contract over
+// the binary wire: the trailer carries the sweep error, the partial
+// vehicles still stream, and the parent folds + surfaces both.
+func TestWireUnrecoverableSurfaces(t *testing.T) {
+	cfg := smallCfg(4)
+	cfg.Chaos = &chaos.Plan{Seed: 3, Panic: 1, Persist: 99}
+	got, err := Run(Config{Engine: cfg, Shards: 2, Spawn: wireSpawn(cfg), Parallelism: 2})
+	if err == nil {
+		t.Fatal("unrecoverable chaos sweep returned nil error")
+	}
+	if !strings.Contains(err.Error(), "shard ") {
+		t.Errorf("error does not name the shard: %v", err)
+	}
+	if got == nil || len(got.Vehicles) != 4 {
+		t.Fatalf("partial merged report missing vehicles: %+v", got)
+	}
+	if got.Health.Unrecoverable == 0 {
+		t.Error("merged health ledger lost the unrecoverable count")
+	}
+}
+
+// TestCorruptWireStreamRecorded pins the checksum containment stance end
+// to end: a corrupted shard stream surfaces as wire.ErrFrameChecksum in
+// the joined error, the other shard still merges, and nothing from the
+// corrupt stream's tail lands in the report silently.
+func TestCorruptWireStreamRecorded(t *testing.T) {
+	cfg := smallCfg(4)
+	spawn := func(r Range) (Stream, error) {
+		var buf bytes.Buffer
+		if err := RunRangeWire(cfg, r, &buf); err != nil {
+			return nil, err
+		}
+		b := buf.Bytes()
+		if r.Start == 2 {
+			b[len(b)/2] ^= 0x01 // flip one mid-stream bit
+		}
+		return NewWireStream(bytes.NewReader(b), nil), nil
+	}
+	got, err := Run(Config{Engine: cfg, Shards: 2, Spawn: spawn})
+	if err == nil {
+		t.Fatal("corrupted stream surfaced no error")
+	}
+	if !errors.Is(err, wire.ErrFrameChecksum) {
+		t.Errorf("joined error is not ErrFrameChecksum: %v", err)
+	}
+	if got == nil || len(got.Vehicles) < 2 {
+		t.Fatalf("healthy shard's vehicles were dropped: %+v", got)
 	}
 }
